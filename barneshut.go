@@ -1,0 +1,154 @@
+// Package barneshut is a Go reproduction of "Scalable parallel
+// formulations of the Barnes–Hut method for n-body simulations" (Grama,
+// Kumar, Sameh; Supercomputing '94 / Parallel Computing 24, 1998).
+//
+// It provides:
+//
+//   - a serial Barnes–Hut octree with monopole forces and degree-k
+//     multipole (solid-harmonic) potentials;
+//   - the paper's three parallel formulations — SPSA, SPDA and DPDA — on
+//     a simulated message-passing multicomputer with nCUBE2 and CM5 cost
+//     profiles, all based on the function-shipping paradigm, plus the
+//     data-shipping baseline they are compared against;
+//   - particle distribution generators (Plummer, Gaussian families) and
+//     an O(n²) direct-summation ground truth;
+//   - a Simulation type that advances a particle system through time with
+//     a symplectic leapfrog integrator driven by any of the formulations.
+//
+// The import path of this package is "repro".
+package barneshut
+
+import (
+	"repro/internal/dist"
+	"repro/internal/msg"
+	"repro/internal/parbh"
+	"repro/internal/vec"
+)
+
+// Re-exported core types. The library's public surface lives in this
+// package; the internal packages are implementation detail.
+type (
+	// V3 is a 3-component vector.
+	V3 = vec.V3
+	// Box is an axis-aligned box.
+	Box = vec.Box
+	// Particle is a point mass with position and velocity.
+	Particle = dist.Particle
+	// ParticleSet is a particle collection plus its simulation domain.
+	ParticleSet = dist.Set
+	// GaussianSpec describes one Gaussian cluster for NewGaussians.
+	GaussianSpec = dist.GaussianSpec
+	// Scheme selects the parallel formulation (SPSA, SPDA, DPDA).
+	Scheme = parbh.Scheme
+	// Mode selects force vs potential computation.
+	Mode = parbh.Mode
+	// Shipping selects function- vs data-shipping.
+	Shipping = parbh.Shipping
+	// Lookup selects the branch-node lookup structure.
+	Lookup = parbh.Lookup
+	// Ordering selects the space-filling curve for dynamic assignment.
+	Ordering = parbh.Ordering
+	// TreeBuild selects the top-tree construction variant.
+	TreeBuild = parbh.TreeBuild
+	// StepResult reports one parallel time-step (timings, efficiency,
+	// phase breakdown, interaction statistics, communication volume).
+	StepResult = parbh.Result
+	// MachineProfile holds the simulated machine's cost constants.
+	MachineProfile = msg.CostProfile
+)
+
+// Parallel formulation selectors.
+const (
+	// SPSA is static partitioning, static (gray-code scatter) assignment.
+	SPSA = parbh.SPSA
+	// SPDA is static partitioning, dynamic (Morton-run) assignment.
+	SPDA = parbh.SPDA
+	// DPDA is dynamic partitioning (costzones), dynamic assignment.
+	DPDA = parbh.DPDA
+)
+
+// Computation modes.
+const (
+	// ForceMode computes monopole force vectors.
+	ForceMode = parbh.ForceMode
+	// PotentialMode computes degree-k multipole potentials.
+	PotentialMode = parbh.PotentialMode
+)
+
+// Communication paradigms.
+const (
+	// FunctionShipping ships particles to the data (the paper's schemes).
+	FunctionShipping = parbh.FunctionShipping
+	// DataShipping fetches tree nodes to the computation (the baseline).
+	DataShipping = parbh.DataShipping
+)
+
+// Branch lookup structures (Section 4.2.3).
+const (
+	// HashLookup locates branch nodes through a hash table.
+	HashLookup = parbh.HashLookup
+	// SortedLookup binary-searches a sorted key table.
+	SortedLookup = parbh.SortedLookup
+)
+
+// Cluster orderings for dynamic assignment.
+const (
+	// MortonOrdering is the paper's Z-curve ordering.
+	MortonOrdering = parbh.MortonOrdering
+	// HilbertOrdering is the Peano–Hilbert alternative.
+	HilbertOrdering = parbh.HilbertOrdering
+)
+
+// Top-tree construction variants (Section 3.1).
+const (
+	// BroadcastBuild rebuilds the top tree redundantly everywhere.
+	BroadcastBuild = parbh.BroadcastBuild
+	// NonReplicatedBuild computes each top cell once at a designated owner.
+	NonReplicatedBuild = parbh.NonReplicatedBuild
+)
+
+// Phase names of StepResult.Phases (the rows of the paper's Table 3).
+const (
+	PhaseMigrate   = parbh.PhaseMigrate
+	PhaseLocalTree = parbh.PhaseLocalTree
+	PhaseTreeMerge = parbh.PhaseTreeMerge
+	PhaseBroadcast = parbh.PhaseBroadcast
+	PhaseForce     = parbh.PhaseForce
+	PhaseLoadBal   = parbh.PhaseLoadBal
+)
+
+// NCube2 returns the simulated cost profile of the paper's 256-processor
+// nCUBE2 (hypercube network, ~2 Mflop/s nodes).
+func NCube2() MachineProfile { return msg.NCube2() }
+
+// CM5 returns the simulated cost profile of the paper's 256-processor
+// CM5 (fat-tree network, faster nodes).
+func CM5() MachineProfile { return msg.CM5() }
+
+// IdealMachine returns a profile with free communication, useful for
+// algorithm-only runs and tests.
+func IdealMachine() MachineProfile { return msg.Ideal() }
+
+// NewPlummer generates an n-particle Plummer sphere in virial equilibrium
+// with scale radius a centred at center (the paper's p_* datasets).
+func NewPlummer(n int, a float64, center V3, seed int64) *ParticleSet {
+	return dist.Plummer(n, a, center, seed)
+}
+
+// NewGaussians generates a superposition of Gaussian clusters inside
+// domain (the paper's g_* and s_*g_* datasets).
+func NewGaussians(specs []GaussianSpec, domain Box, seed int64) *ParticleSet {
+	return dist.Gaussians(specs, domain, seed)
+}
+
+// NewUniform generates n uniformly distributed particles in box.
+func NewUniform(n int, box Box, seed int64) *ParticleSet {
+	return dist.Uniform(n, box, seed)
+}
+
+// NewNamed regenerates one of the paper's named datasets ("plummer",
+// "g", "g2", "s_1g_a", "s_1g_b", "s_10g_a", "s_10g_b", "uniform") at an
+// arbitrary particle count.
+func NewNamed(name string, n int, seed int64) (*ParticleSet, error) {
+	return dist.Named(name, n, seed)
+}

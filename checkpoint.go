@@ -1,0 +1,62 @@
+package barneshut
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the serialized form of a Simulation: configuration plus
+// authoritative particle state. The engine's internal decomposition is
+// rebuilt on restore (the first step after a restore re-balances, exactly
+// like the first step of a fresh simulation).
+type checkpoint struct {
+	Version int
+	Config  Config
+	Time    float64
+	Steps   int
+	Domain  Box
+	Bodies  []Particle
+}
+
+const checkpointVersion = 1
+
+// WriteCheckpoint serializes the simulation state so it can be resumed
+// later with ReadCheckpoint. The stream is a stdlib gob encoding.
+func (s *Simulation) WriteCheckpoint(w io.Writer) error {
+	cp := checkpoint{
+		Version: checkpointVersion,
+		Config:  s.cfg,
+		Time:    s.time,
+		Steps:   s.steps,
+		Domain:  s.domain(),
+		Bodies:  s.Bodies(),
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("barneshut: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// domain returns the engine's root cell so the restored decomposition
+// anchors to the same cube.
+func (s *Simulation) domain() Box { return s.engine.Domain() }
+
+// ReadCheckpoint reconstructs a Simulation from a checkpoint stream.
+func ReadCheckpoint(r io.Reader) (*Simulation, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("barneshut: reading checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("barneshut: unsupported checkpoint version %d", cp.Version)
+	}
+	set := &ParticleSet{Particles: cp.Bodies, Domain: cp.Domain}
+	sim, err := NewSimulation(set, cp.Config)
+	if err != nil {
+		return nil, err
+	}
+	sim.time = cp.Time
+	sim.steps = cp.Steps
+	return sim, nil
+}

@@ -1,0 +1,59 @@
+// Command bhbench regenerates the paper's tables and figures on the
+// simulated message-passing machine.
+//
+// Usage:
+//
+//	bhbench -table all                 # every experiment, paper order
+//	bhbench -table 1                   # Table 1 only
+//	bhbench -table fig9 -scale 0.25    # Fig 9 at quarter particle counts
+//	bhbench -table ship -maxprocs 16   # cap the simulated machine size
+//
+// Known ids: 1..7, fig9, kw (Section 4.1), ship (Section 4.2),
+// binsize, lookup, ordering, treebuild (ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "all", "experiment id or 'all'")
+		scale    = flag.Float64("scale", 1.0/16, "particle-count scale relative to the paper")
+		maxProcs = flag.Int("maxprocs", 256, "cap on simulated processor counts")
+		seed     = flag.Int64("seed", 1994, "dataset generation seed")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Scale: *scale, MaxProcs: *maxProcs, Seed: *seed}
+	start := time.Now()
+	if *table == "all" {
+		tabs, err := experiments.All(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bhbench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tabs {
+			fmt.Println(t.Format())
+		}
+	} else {
+		fn, ok := experiments.ByID(*table)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bhbench: unknown experiment %q\n", *table)
+			os.Exit(2)
+		}
+		t, err := fn(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bhbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+	}
+	fmt.Printf("elapsed: %.1fs (scale=%.4g, maxprocs=%d)\n",
+		time.Since(start).Seconds(), *scale, *maxProcs)
+}

@@ -1,0 +1,167 @@
+// Command nbody runs an astrophysical n-body simulation with one of the
+// parallel Barnes–Hut formulations on the simulated message-passing
+// machine and reports per-step timings, the phase breakdown, load
+// balance, and communication statistics.
+//
+// Examples:
+//
+//	nbody -dist plummer -n 20000 -p 16 -scheme dpda -steps 5
+//	nbody -dist s_10g_a -n 25130 -p 64 -scheme spda -grid 4 -machine cm5
+//	nbody -dist g -n 50000 -p 64 -mode potential -degree 4 -alpha 0.67
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	barneshut "repro"
+)
+
+func main() {
+	var (
+		distName = flag.String("dist", "plummer", "distribution: plummer, g, g2, s_1g_a, s_1g_b, s_10g_a, s_10g_b, uniform")
+		n        = flag.Int("n", 10000, "number of particles")
+		p        = flag.Int("p", 8, "simulated processors (power of two for spsa/spda)")
+		scheme   = flag.String("scheme", "dpda", "parallel formulation: spsa, spda, dpda")
+		mode     = flag.String("mode", "force", "force (monopoles) or potential (multipoles)")
+		alpha    = flag.Float64("alpha", 0.67, "multipole acceptance parameter")
+		degree   = flag.Int("degree", 4, "multipole degree (potential mode)")
+		eps      = flag.Float64("eps", 0.05, "Plummer softening (force mode)")
+		steps    = flag.Int("steps", 3, "number of time-steps")
+		dt       = flag.Float64("dt", 0.01, "leapfrog time-step")
+		grid     = flag.Int("grid", 3, "log2 of the cluster grid per dimension (spsa/spda)")
+		machine  = flag.String("machine", "ncube2", "machine profile: ncube2, cm5, ideal")
+		binSize  = flag.Int("bin", 100, "function-shipping bin size")
+		shipping = flag.String("shipping", "function", "function or data shipping")
+		seed     = flag.Int64("seed", 42, "random seed")
+		verbose  = flag.Bool("v", false, "print the phase breakdown each step")
+		integr   = flag.String("integrator", "leapfrog", "time integrator: leapfrog, yoshida4, euler")
+		csvPath  = flag.String("csv", "", "write per-step history CSV to this file")
+		ckptPath = flag.String("checkpoint", "", "write a resumable checkpoint here after the run")
+		resume   = flag.String("resume", "", "resume from a checkpoint file (overrides -dist/-n)")
+	)
+	flag.Parse()
+
+	set, err := barneshut.NewNamed(*distName, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := barneshut.Config{
+		Processors: *p,
+		Alpha:      *alpha,
+		Degree:     *degree,
+		Eps:        *eps,
+		GridLog2:   *grid,
+		BinSize:    *binSize,
+		DT:         *dt,
+		Integrator: *integr,
+	}
+	switch strings.ToLower(*scheme) {
+	case "spsa":
+		cfg.Scheme = barneshut.SPSA
+	case "spda":
+		cfg.Scheme = barneshut.SPDA
+	case "dpda":
+		cfg.Scheme = barneshut.DPDA
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	switch strings.ToLower(*mode) {
+	case "force":
+		cfg.Mode = barneshut.ForceMode
+	case "potential":
+		cfg.Mode = barneshut.PotentialMode
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch strings.ToLower(*machine) {
+	case "ncube2":
+		cfg.Profile = barneshut.NCube2()
+	case "cm5":
+		cfg.Profile = barneshut.CM5()
+	case "ideal":
+		cfg.Profile = barneshut.IdealMachine()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+	if strings.ToLower(*shipping) == "data" {
+		cfg.Shipping = barneshut.DataShipping
+	}
+
+	var sim *barneshut.Simulation
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		sim, err = barneshut.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nbody: resumed from %s at step %d (t=%.4g)\n", *resume, sim.Steps(), sim.Time())
+	} else {
+		sim, err = barneshut.NewSimulation(set, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	effCfg := sim.Config()
+	fmt.Printf("nbody: %s n=%d p=%d scheme=%v mode=%v machine=%s alpha=%g integrator=%s\n",
+		*distName, len(sim.Bodies()), effCfg.Processors, effCfg.Scheme, effCfg.Mode,
+		effCfg.Profile.Name, effCfg.Alpha, effCfg.Integrator)
+
+	var history barneshut.History
+	for step := 1; step <= *steps; step++ {
+		wall := time.Now()
+		var res *barneshut.StepResult
+		if effCfg.Mode == barneshut.PotentialMode {
+			res = sim.ComputeForces()
+		} else {
+			res = sim.Step()
+		}
+		history.Record(sim, res)
+		fmt.Printf("step %2d: sim %.3fs  eff %.2f  speedup %.1f  imb %.2f  comm %.2f Mwords  F=%d  wall %.2fs\n",
+			step, res.SimTime, res.Efficiency, res.Speedup, res.Imbalance,
+			float64(res.CommWords)/1e6, res.Stats.Interactions(), time.Since(wall).Seconds())
+		if *verbose {
+			for _, name := range res.PhaseOrder {
+				fmt.Printf("         %-36s %.4fs\n", name, res.Phases[name])
+			}
+		}
+	}
+	meanSim, meanEff, worstImb := history.Summary()
+	fmt.Printf("summary: mean sim %.3fs  mean eff %.2f  worst imbalance %.2f\n",
+		meanSim, meanEff, worstImb)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := history.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("history written to %s\n", *csvPath)
+	}
+	if *ckptPath != "" {
+		f, err := os.Create(*ckptPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.WriteCheckpoint(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("checkpoint written to %s\n", *ckptPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nbody:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Figures: ASCII renditions of the paper's 2-D illustration figures,
+// generated from the actual machinery rather than drawn by hand —
+// Fig. 5 (partitioning into r = 16 parts and the gray-code mapping of
+// subdomains to processors), Fig. 6a (Morton ordering of a 4×4 cluster
+// grid) and its Peano–Hilbert counterpart, and Fig. 6b (cluster loads
+// and their assignment to processors in Morton order).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/keys"
+	"repro/internal/partition"
+	"repro/internal/vec"
+)
+
+func main() {
+	fig5()
+	fig6a()
+	fig6b()
+}
+
+// fig5 renders the SPSA scatter mapping: a 4×4 grid of subdomains mapped
+// to 4 processors with gray codes, so neighbouring subdomains live on
+// neighbouring (hypercube) processors.
+func fig5() {
+	fmt.Println("Fig. 5 — static partitioning into r = 16 subdomains (4×4),")
+	fmt.Println("gray-code scatter mapping onto p = 4 processors:")
+	m, err := keys.NewScatterMap(4, 4, 1, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
+	for j := 3; j >= 0; j-- {
+		fmt.Print("   ")
+		for i := 0; i < 4; i++ {
+			fmt.Printf(" P%d", m.Proc(i, j, 0))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("each processor owns r/p = 4 subdomains scattered across the domain;")
+	fmt.Println("rows and columns cycle through processors in gray-code order, so any")
+	fmt.Println("two adjacent subdomains differ in one processor-address bit.")
+	fmt.Println()
+}
+
+// fig6a renders the Morton (Z) ordering of a 4×4 cluster grid — the
+// paper's Fig. 6a — alongside the Peano–Hilbert alternative.
+func fig6a() {
+	fmt.Println("Fig. 6a — Morton ordering of a domain decomposed into 16 clusters")
+	fmt.Println("(left: Morton/Z as in the paper; right: Peano–Hilbert used by costzones):")
+	fmt.Println()
+	for j := 3; j >= 0; j-- {
+		fmt.Print("   ")
+		for i := 0; i < 4; i++ {
+			fmt.Printf(" %2d", keys.Encode2(uint32(i), uint32(j)))
+		}
+		fmt.Print("        ")
+		for i := 0; i < 4; i++ {
+			fmt.Printf(" %2d", keys.HilbertEncode2(uint32(i), uint32(j), 2))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// fig6b renders cluster loads and the Morton-run assignment to 4
+// processors — the paper's Fig. 6b ("each processor is assigned
+// approximately equal load in accordance with its Morton ordering").
+func fig6b() {
+	fmt.Println("Fig. 6b — cluster loads and the SPDA Morton-run assignment (p = 4):")
+	fmt.Println()
+	g, err := partition.NewGrid(vec.NewBox(vec.V3{}, vec.V3{X: 4, Y: 4, Z: 1}), 4, 4, 1)
+	if err != nil {
+		panic(err)
+	}
+	// Synthetic loads: a hot spot in one corner, as in an irregular
+	// distribution.
+	rng := rand.New(rand.NewSource(4))
+	loads := make([]float64, g.NumClusters())
+	for idx := range loads {
+		i, j, _ := g.Coords(idx)
+		hot := 1.0
+		if i < 2 && j < 2 {
+			hot = 6
+		}
+		loads[idx] = hot * (1 + rng.Float64())
+	}
+	order := g.MortonOrder()
+	starts := partition.RunsByLoad(order, loads, 4)
+	owner := partition.OwnerFromRuns(order, starts, g.NumClusters())
+
+	fmt.Println("   loads:                assignment:")
+	for j := 3; j >= 0; j-- {
+		fmt.Print("   ")
+		for i := 0; i < 4; i++ {
+			fmt.Printf(" %4.1f", loads[g.Index(i, j, 0)])
+		}
+		fmt.Print("      ")
+		for i := 0; i < 4; i++ {
+			fmt.Printf("  P%d", owner[g.Index(i, j, 0)])
+		}
+		fmt.Println()
+	}
+	per := make([]float64, 4)
+	var total float64
+	for c, o := range owner {
+		per[o] += loads[c]
+		total += loads[c]
+	}
+	fmt.Println()
+	fmt.Printf("   per-processor load:")
+	for p, l := range per {
+		fmt.Printf("  P%d=%.1f", p, l)
+	}
+	fmt.Printf("   (ideal %.1f)\n", total/4)
+	fmt.Printf("   imbalance (max/mean): %.3f\n", partition.Imbalance(owner, loads, 4))
+	fmt.Println()
+	fmt.Println("the hot 2×2 corner is a contiguous Morton run, so it splits across")
+	fmt.Println("processors while each run stays spatially compact.")
+}

@@ -1,0 +1,57 @@
+// FMM vs Barnes–Hut: the paper observes that "parallel formulations of
+// FMM and the Barnes–Hut method are similar" and that its techniques
+// extend to the FMM. This example compares the two hierarchical methods
+// head to head on the same particle sets: accuracy against direct
+// summation, and the interaction counts that make the FMM O(n) where the
+// treecode is O(n log n).
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	barneshut "repro"
+)
+
+func main() {
+	fmt.Println("Barnes–Hut (particle–cluster) vs FMM (cluster–cluster), potentials, degree 4")
+	fmt.Printf("\n%7s  %10s  %12s  %12s  %12s  %12s\n",
+		"n", "method", "error", "interactions", "per particle", "wall ms")
+
+	for _, n := range []int{4000, 16000, 64000} {
+		set := barneshut.NewPlummer(n, 1.0, barneshut.V3{}, 5)
+		var exact []float64
+		if n <= 16000 {
+			exact = barneshut.DirectPotentials(set, 0)
+		}
+
+		t0 := time.Now()
+		bhPots, bhStats := barneshut.SerialPotentials(set, 0.6, 4, 8)
+		bhMS := time.Since(t0).Seconds() * 1000
+
+		t1 := time.Now()
+		fmmPots, fmmStats := barneshut.FMMPotentials(set, barneshut.FMMConfig{Degree: 4, Theta: 0.55})
+		fmmMS := time.Since(t1).Seconds() * 1000
+
+		report := func(name string, pots []float64, inter int64, ms float64) {
+			errStr := "-"
+			if exact != nil {
+				var num, den float64
+				for i := range exact {
+					d := exact[i] - pots[i]
+					num += d * d
+					den += exact[i] * exact[i]
+				}
+				errStr = fmt.Sprintf("%.2e", math.Sqrt(num/den))
+			}
+			fmt.Printf("%7d  %10s  %12s  %12d  %12.1f  %12.1f\n",
+				n, name, errStr, inter, float64(inter)/float64(n), ms)
+		}
+		report("BH", bhPots, bhStats.Interactions(), bhMS)
+		report("FMM", fmmPots, fmmStats.P2P+fmmStats.M2L, fmmMS)
+	}
+
+	fmt.Println("\nBH's per-particle interaction count grows with log n; the FMM's stays flat —")
+	fmt.Println("the cluster–cluster M2L operator amortizes the far field over whole cells.")
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a Plummer sphere (the paper's Fig. 8 shows a 5000
+// particle Plummer model), compute Barnes–Hut forces serially, check them
+// against direct summation, then run the same computation with the DPDA
+// parallel formulation on a simulated 8-processor machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	barneshut "repro"
+)
+
+func main() {
+	// 1. A 5000-particle Plummer sphere in virial equilibrium (Fig. 8).
+	set := barneshut.NewPlummer(5000, 1.0, barneshut.V3{}, 42)
+	fmt.Printf("Plummer model: %d particles, total mass %.3f, centre of mass %v\n",
+		set.N(), set.TotalMass(), set.CenterOfMass())
+
+	// 2. Serial Barnes–Hut forces at α = 0.67 with mild softening.
+	const alpha, eps = 0.67, 0.01
+	bhForces, stats := barneshut.SerialForces(set, alpha, eps, 8)
+	fmt.Printf("serial Barnes–Hut: %d MAC tests, %d particle–cluster + %d particle–particle interactions\n",
+		stats.MACTests, stats.PC, stats.PP)
+	direct := barneshut.DirectForces(set, eps)
+	fmt.Printf("direct summation would need %d interactions; the treecode used %d (%.1f%%)\n",
+		set.N()*(set.N()-1), stats.Interactions(),
+		100*float64(stats.Interactions())/float64(set.N()*(set.N()-1)))
+
+	// 3. Accuracy of the approximation.
+	var num, den float64
+	for i := range bhForces {
+		num += bhForces[i].Sub(direct[i]).Norm2()
+		den += direct[i].Norm2()
+	}
+	fmt.Printf("force error vs direct: %.2e (relative L2)\n", num/den)
+
+	// 4. The same computation with the DPDA parallel formulation on a
+	// simulated 8-processor nCUBE2.
+	sim, err := barneshut.NewSimulation(set, barneshut.Config{
+		Processors: 8,
+		Scheme:     barneshut.DPDA,
+		Alpha:      alpha,
+		Eps:        eps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sim.ComputeForces()
+	fmt.Printf("\nparallel run (DPDA, p=8, simulated nCUBE2):\n")
+	fmt.Printf("  simulated time %.3fs, efficiency %.2f, load imbalance %.2f\n",
+		res.SimTime, res.Efficiency, res.Imbalance)
+	fmt.Printf("  communication: %.3f Mwords in %d messages, %d branch nodes\n",
+		float64(res.CommWords)/1e6, res.CommMessages, res.BranchNodes)
+	for _, name := range res.PhaseOrder {
+		fmt.Printf("  %-36s %.4fs\n", name, res.Phases[name])
+	}
+
+	// 5. Parallel forces agree with the serial treecode.
+	var pnum, pden float64
+	for i := range bhForces {
+		pnum += res.Accels[i].Sub(bhForces[i]).Norm2()
+		pden += bhForces[i].Norm2()
+	}
+	fmt.Printf("parallel vs serial force difference: %.2e (relative L2)\n", pnum/pden)
+}

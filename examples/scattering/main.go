@@ -1,0 +1,49 @@
+// Scattering: the paper's Sections 2 and 6 note that the hierarchical
+// techniques apply to boundary element methods, where the "force" is the
+// Green's function e^{ikr}/r of the field integral equation and each
+// solver iteration is one dense matrix–vector product. This example
+// evaluates that product over collocation points on a sphere with the
+// Barnes–Hut-style treecode and compares cost and accuracy against the
+// exact O(n²) product across frequencies.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bem"
+)
+
+func main() {
+	const n = 3000
+	fmt.Printf("Helmholtz single-layer matvec on a sphere, n=%d collocation points\n\n", n)
+	fmt.Printf("%6s  %12s  %12s  %14s  %12s  %10s\n",
+		"ka", "direct ms", "tree ms", "interactions", "rel error", "saving")
+
+	for _, k := range []float64{0.5, 1.0, 2.0, 4.0} {
+		src := bem.SpherePanels(n, 1.0, k)
+		strengths := make([]complex128, n)
+		for _, s := range src {
+			strengths[s.ID] = s.Strength
+		}
+
+		t0 := time.Now()
+		exact := bem.Direct(src, k)
+		directMS := time.Since(t0).Seconds() * 1000
+
+		ev := bem.NewEvaluator(src, k, bem.Config{Alpha: 0.5, Kappa: 0.4})
+		t1 := time.Now()
+		got, stats := ev.MatVec(strengths)
+		treeMS := time.Since(t1).Seconds() * 1000
+
+		total := stats.Direct + stats.Accepted
+		dense := int64(n) * int64(n-1)
+		fmt.Printf("%6.1f  %12.1f  %12.1f  %14d  %12.2e  %9.1f%%\n",
+			k, directMS, treeMS, total, bem.RelError(got, exact),
+			100*(1-float64(total)/float64(dense)))
+	}
+
+	fmt.Println("\nhigher frequencies force the treecode to open clusters whose extent spans")
+	fmt.Println("a substantial phase (the κ criterion), shrinking the saving — the regime")
+	fmt.Println("where the full FMM with oscillatory expansions takes over.")
+}

@@ -1,0 +1,53 @@
+// Scheme comparison: the three parallel formulations (SPSA, SPDA, DPDA)
+// side by side on particle distributions of increasing irregularity — the
+// experiment behind the paper's Tables 1 and 4. Each scheme runs a few
+// steps on the same simulated 16-processor nCUBE2 so its load balancer
+// can settle; the table reports the settled step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	barneshut "repro"
+)
+
+func main() {
+	distributions := []string{"uniform", "g", "g2", "s_10g_b", "s_10g_a", "s_1g_a"}
+	schemes := []barneshut.Scheme{barneshut.SPSA, barneshut.SPDA, barneshut.DPDA}
+
+	fmt.Println("SPSA vs SPDA vs DPDA on a simulated 16-processor nCUBE2 (n=12000, α=0.67)")
+	fmt.Printf("%-9s  %-6s  %9s  %7s  %7s  %9s\n",
+		"dataset", "scheme", "sim time", "eff", "imbal", "Mwords")
+
+	for _, name := range distributions {
+		set, err := barneshut.NewNamed(name, 12000, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, scheme := range schemes {
+			sim, err := barneshut.NewSimulation(set, barneshut.Config{
+				Processors: 16,
+				Scheme:     scheme,
+				Alpha:      0.67,
+				Eps:        0.05,
+				GridLog2:   4,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Two settling steps, then the reported one.
+			sim.ComputeForces()
+			sim.ComputeForces()
+			res := sim.ComputeForces()
+			fmt.Printf("%-9s  %-6v  %8.3fs  %7.2f  %7.2f  %9.3f\n",
+				name, scheme, res.SimTime, res.Efficiency, res.Imbalance,
+				float64(res.CommWords)/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shape (paper): all three agree on regular inputs; as irregularity")
+	fmt.Println("grows the static scatter (SPSA) loses balance, the Morton-run reassignment")
+	fmt.Println("(SPDA) recovers it while clusters remain splittable, and costzones (DPDA)")
+	fmt.Println("adapts its partition shape and stays balanced even on the worst case.")
+}

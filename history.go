@@ -1,0 +1,94 @@
+package barneshut
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// HistoryEntry is one recorded time-step of a simulation.
+type HistoryEntry struct {
+	Step       int
+	Time       float64
+	SimTime    float64
+	Efficiency float64
+	Imbalance  float64
+	CommWords  int64
+	MACTests   int64
+	PC         int64
+	PP         int64
+	Kinetic    float64
+}
+
+// History accumulates per-step summaries; attach one to a simulation loop
+// to produce the per-iteration records the paper's tables are built from.
+type History struct {
+	Entries []HistoryEntry
+}
+
+// Record appends a snapshot of the simulation and its last step result.
+func (h *History) Record(s *Simulation, res *StepResult) {
+	if res == nil {
+		return
+	}
+	h.Entries = append(h.Entries, HistoryEntry{
+		Step:       s.Steps(),
+		Time:       s.Time(),
+		SimTime:    res.SimTime,
+		Efficiency: res.Efficiency,
+		Imbalance:  res.Imbalance,
+		CommWords:  res.CommWords,
+		MACTests:   res.Stats.MACTests,
+		PC:         res.Stats.PC,
+		PP:         res.Stats.PP,
+		Kinetic:    s.KineticEnergy(),
+	})
+}
+
+// WriteCSV emits the history as CSV with a header row.
+func (h *History) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"step", "time", "sim_time", "efficiency", "imbalance",
+		"comm_words", "mac_tests", "pc", "pp", "kinetic",
+	}); err != nil {
+		return err
+	}
+	for _, e := range h.Entries {
+		rec := []string{
+			fmt.Sprint(e.Step),
+			fmt.Sprintf("%g", e.Time),
+			fmt.Sprintf("%g", e.SimTime),
+			fmt.Sprintf("%g", e.Efficiency),
+			fmt.Sprintf("%g", e.Imbalance),
+			fmt.Sprint(e.CommWords),
+			fmt.Sprint(e.MACTests),
+			fmt.Sprint(e.PC),
+			fmt.Sprint(e.PP),
+			fmt.Sprintf("%g", e.Kinetic),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary returns mean simulated step time, mean efficiency and the worst
+// imbalance across recorded steps.
+func (h *History) Summary() (meanSimTime, meanEff, worstImbalance float64) {
+	if len(h.Entries) == 0 {
+		return 0, 0, 1
+	}
+	worstImbalance = 1
+	for _, e := range h.Entries {
+		meanSimTime += e.SimTime
+		meanEff += e.Efficiency
+		if e.Imbalance > worstImbalance {
+			worstImbalance = e.Imbalance
+		}
+	}
+	n := float64(len(h.Entries))
+	return meanSimTime / n, meanEff / n, worstImbalance
+}

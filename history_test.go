@@ -1,0 +1,86 @@
+package barneshut
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistoryRecordsAndCSV(t *testing.T) {
+	set := NewPlummer(200, 1, V3{}, 61)
+	sim, err := NewSimulation(set, Config{Processors: 2, Scheme: DPDA, Eps: 0.05, Profile: IdealMachine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h History
+	for i := 0; i < 3; i++ {
+		res := sim.Step()
+		h.Record(sim, res)
+	}
+	if len(h.Entries) != 3 {
+		t.Fatalf("entries = %d", len(h.Entries))
+	}
+	for i, e := range h.Entries {
+		if e.Step != i+1 {
+			t.Fatalf("entry %d has step %d", i, e.Step)
+		}
+		if e.SimTime <= 0 || e.Kinetic <= 0 {
+			t.Fatalf("entry %d not populated: %+v", i, e)
+		}
+	}
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "step,time,sim_time") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	mean, eff, imb := h.Summary()
+	if mean <= 0 || eff <= 0 || imb < 1 {
+		t.Fatalf("summary = %v %v %v", mean, eff, imb)
+	}
+}
+
+func TestHistoryNilResultIgnored(t *testing.T) {
+	var h History
+	h.Record(nil, nil)
+	if len(h.Entries) != 0 {
+		t.Fatal("nil result recorded")
+	}
+	if m, e, i := h.Summary(); m != 0 || e != 0 || i != 1 {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestParallelFMMPublicAPI(t *testing.T) {
+	set := NewPlummer(1200, 1, V3{}, 62)
+	res, err := ParallelFMMPotentials(set, 4, IdealMachine(), ParallelFMMConfig{Degree: 5, Theta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := DirectPotentials(set, 0)
+	var num, den float64
+	for i := range exact {
+		d := exact[i] - res.Potentials[i]
+		num += d * d
+		den += exact[i] * exact[i]
+	}
+	if num/den > 1e-6 {
+		t.Fatalf("parallel FMM error %v", num/den)
+	}
+	if res.Stats.M2L == 0 {
+		t.Fatal("no far-field work")
+	}
+	// Default profile path.
+	res2, err := ParallelFMMPotentials(set, 2, MachineProfile{}, ParallelFMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Potentials) != set.N() {
+		t.Fatal("default-profile run failed")
+	}
+}

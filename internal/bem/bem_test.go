@@ -1,0 +1,166 @@
+package bem
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestGreenBasics(t *testing.T) {
+	x := vec.V3{X: 1}
+	y := vec.V3{}
+	// k = 0 reduces to the Laplace kernel 1/r.
+	if g := Green(x, y, 0); g != 1 {
+		t.Fatalf("static Green = %v", g)
+	}
+	// |G| = 1/r regardless of k.
+	g := Green(vec.V3{X: 2}, y, 3.7)
+	if math.Abs(cmplx.Abs(g)-0.5) > 1e-15 {
+		t.Fatalf("|G| = %v", cmplx.Abs(g))
+	}
+	// Phase advances as k·r.
+	if ph := cmplx.Phase(Green(vec.V3{X: 1}, y, 1.25)); math.Abs(ph-1.25) > 1e-12 {
+		t.Fatalf("phase = %v", ph)
+	}
+	if Green(x, x, 1) != 0 {
+		t.Fatal("self Green not zero")
+	}
+}
+
+func TestDirectTwoSources(t *testing.T) {
+	src := []Source{
+		{ID: 0, Pos: vec.V3{}, Strength: 1},
+		{ID: 1, Pos: vec.V3{X: 2}, Strength: 1i},
+	}
+	const k = 0.5
+	u := Direct(src, k)
+	want0 := 1i * Green(src[0].Pos, src[1].Pos, k)
+	want1 := Green(src[1].Pos, src[0].Pos, k)
+	if cmplx.Abs(u[0]-want0) > 1e-15 || cmplx.Abs(u[1]-want1) > 1e-15 {
+		t.Fatalf("u = %v", u)
+	}
+}
+
+func TestTreecodeMatchesDirect(t *testing.T) {
+	// Low-frequency scattering off a sphere: ka = 1.
+	const n, radius, k = 1500, 1.0, 1.0
+	src := SpherePanels(n, radius, k)
+	exact := Direct(src, k)
+	ev := NewEvaluator(src, k, Config{Alpha: 0.4, Kappa: 0.4})
+	strengths := make([]complex128, n)
+	for _, s := range src {
+		strengths[s.ID] = s.Strength
+	}
+	got, st := ev.MatVec(strengths)
+	if e := RelError(got, exact); e > 5e-3 {
+		t.Fatalf("treecode error %v", e)
+	}
+	if st.Accepted == 0 {
+		t.Fatal("no cluster interactions used")
+	}
+	if st.Direct+st.Accepted >= int64(n)*int64(n-1) {
+		t.Fatal("treecode did not save work")
+	}
+}
+
+func TestTreecodeErrorShrinksWithAlpha(t *testing.T) {
+	const n, k = 1000, 1.0
+	src := SpherePanels(n, 1, k)
+	exact := Direct(src, k)
+	strengths := make([]complex128, n)
+	for _, s := range src {
+		strengths[s.ID] = s.Strength
+	}
+	var prev = math.Inf(1)
+	for _, alpha := range []float64{0.8, 0.5, 0.3} {
+		ev := NewEvaluator(src, k, Config{Alpha: alpha, Kappa: 0.5})
+		got, _ := ev.MatVec(strengths)
+		err := RelError(got, exact)
+		if err > prev*1.3 {
+			t.Fatalf("alpha %v error %v did not improve on %v", alpha, err, prev)
+		}
+		prev = err
+	}
+}
+
+func TestKappaGuardsOscillation(t *testing.T) {
+	// At higher frequency the phase criterion must keep accuracy: with a
+	// generous alpha, shrinking kappa should reduce the error.
+	const n, k = 1200, 6.0 // ka = 6: several wavelengths across the sphere
+	src := SpherePanels(n, 1, k)
+	exact := Direct(src, k)
+	strengths := make([]complex128, n)
+	for _, s := range src {
+		strengths[s.ID] = s.Strength
+	}
+	loose, _ := NewEvaluator(src, k, Config{Alpha: 0.7, Kappa: 10}).MatVec(strengths)
+	tight, _ := NewEvaluator(src, k, Config{Alpha: 0.7, Kappa: 0.3}).MatVec(strengths)
+	eLoose := RelError(loose, exact)
+	eTight := RelError(tight, exact)
+	if eTight >= eLoose {
+		t.Fatalf("kappa did not help: loose %v, tight %v", eLoose, eTight)
+	}
+	if eTight > 0.05 {
+		t.Fatalf("tight-kappa error still %v", eTight)
+	}
+}
+
+func TestMatVecLinearity(t *testing.T) {
+	const n, k = 500, 1.0
+	src := SpherePanels(n, 1, k)
+	ev := NewEvaluator(src, k, Config{})
+	x1 := make([]complex128, n)
+	x2 := make([]complex128, n)
+	for i := range x1 {
+		x1[i] = complex(float64(i%7), float64(i%3))
+		x2[i] = complex(1, -float64(i%5))
+	}
+	y1, _ := ev.MatVec(x1)
+	y2, _ := ev.MatVec(x2)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = x1[i] + x2[i]
+	}
+	ySum, _ := ev.MatVec(sum)
+	for i := range ySum {
+		want := y1[i] + y2[i]
+		// The strength-weighted centroids shift with the input, so
+		// linearity holds only to the approximation tolerance.
+		if cmplx.Abs(ySum[i]-want) > 2e-2*(1+cmplx.Abs(want)) {
+			t.Fatalf("entry %d: %v vs %v", i, ySum[i], want)
+		}
+	}
+}
+
+func TestSpherePanels(t *testing.T) {
+	src := SpherePanels(500, 2.0, 1.5)
+	if len(src) != 500 {
+		t.Fatalf("panels = %d", len(src))
+	}
+	for i, s := range src {
+		if math.Abs(s.Pos.Norm()-2.0) > 1e-12 {
+			t.Fatalf("panel %d radius %v", i, s.Pos.Norm())
+		}
+		if math.Abs(cmplx.Abs(s.Strength)-1) > 1e-12 {
+			t.Fatalf("panel %d strength %v", i, s.Strength)
+		}
+		if s.ID != i {
+			t.Fatalf("panel %d id %d", i, s.ID)
+		}
+	}
+}
+
+func TestRelError(t *testing.T) {
+	a := []complex128{3, 4i}
+	if RelError(a, a) != 0 {
+		t.Fatal("identical error nonzero")
+	}
+	if e := RelError([]complex128{0}, []complex128{0}); e != 0 {
+		t.Fatal("zero/zero")
+	}
+	if e := RelError([]complex128{1}, []complex128{0}); !math.IsInf(e, 1) {
+		t.Fatal("zero denominator")
+	}
+}

@@ -1,0 +1,219 @@
+package bem
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// GMRES solves the dense complex linear system A·x = b given only a
+// matrix–vector product — the setting where the hierarchical matvec pays
+// off: each iteration of the iterative solver is one treecode product
+// instead of an O(n²) dense product (Section 6's boundary-element use
+// case, and the subject of the companion matrix–vector paper [17]).
+//
+// The implementation is standard restarted GMRES(m) with modified
+// Gram–Schmidt and Givens rotations on the Hessenberg matrix.
+
+// MatVecFunc applies the system operator to a vector.
+type MatVecFunc func(x []complex128) []complex128
+
+// GMRESOptions configure the solver.
+type GMRESOptions struct {
+	// Tol is the target relative residual ‖b - Ax‖/‖b‖ (default 1e-8).
+	Tol float64
+	// Restart is the Krylov subspace size m (default 30).
+	Restart int
+	// MaxIters bounds the total matvec count (default 200).
+	MaxIters int
+}
+
+func (o GMRESOptions) withDefaults() GMRESOptions {
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.Restart == 0 {
+		o.Restart = 30
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 200
+	}
+	return o
+}
+
+// GMRESResult reports the solve.
+type GMRESResult struct {
+	X          []complex128
+	Residual   float64 // final relative residual
+	Iterations int     // matvec count
+	Converged  bool
+}
+
+func dotc(a, b []complex128) complex128 {
+	var s complex128
+	for i := range a {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}
+
+func nrm2(a []complex128) float64 {
+	var s float64
+	for i := range a {
+		s += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+	}
+	return math.Sqrt(s)
+}
+
+// GMRES solves A·x = b. x0 may be nil (zero initial guess).
+func GMRES(apply MatVecFunc, b []complex128, x0 []complex128, opt GMRESOptions) (*GMRESResult, error) {
+	opt = opt.withDefaults()
+	n := len(b)
+	if n == 0 {
+		return &GMRESResult{Converged: true}, nil
+	}
+	x := make([]complex128, n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, fmt.Errorf("bem: initial guess length %d, want %d", len(x0), n)
+		}
+		copy(x, x0)
+	}
+	bnorm := nrm2(b)
+	if bnorm == 0 {
+		return &GMRESResult{X: x, Converged: true}, nil
+	}
+
+	iters := 0
+	m := opt.Restart
+	for iters < opt.MaxIters {
+		// r = b - A x.
+		ax := apply(x)
+		iters++
+		r := make([]complex128, n)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		beta := nrm2(r)
+		if beta/bnorm < opt.Tol {
+			return &GMRESResult{X: x, Residual: beta / bnorm, Iterations: iters, Converged: true}, nil
+		}
+
+		// Arnoldi with modified Gram–Schmidt.
+		V := make([][]complex128, m+1)
+		H := make([][]complex128, m+1) // H[i][j], i row ≤ j+1
+		for i := range H {
+			H[i] = make([]complex128, m)
+		}
+		V[0] = make([]complex128, n)
+		for i := range r {
+			V[0][i] = r[i] / complex(beta, 0)
+		}
+		// Givens rotations.
+		cs := make([]complex128, m)
+		sn := make([]complex128, m)
+		g := make([]complex128, m+1)
+		g[0] = complex(beta, 0)
+
+		k := 0
+		for ; k < m && iters < opt.MaxIters; k++ {
+			w := apply(V[k])
+			iters++
+			for i := 0; i <= k; i++ {
+				H[i][k] = dotc(V[i], w)
+				for j := range w {
+					w[j] -= H[i][k] * V[i][j]
+				}
+			}
+			hk1 := nrm2(w)
+			H[k+1][k] = complex(hk1, 0)
+			if hk1 > 1e-300 {
+				V[k+1] = make([]complex128, n)
+				for j := range w {
+					V[k+1][j] = w[j] / complex(hk1, 0)
+				}
+			}
+			// Apply previous rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*H[i][k] + sn[i]*H[i+1][k]
+				H[i+1][k] = -cmplx.Conj(sn[i])*H[i][k] + cmplx.Conj(cs[i])*H[i+1][k]
+				H[i][k] = t
+			}
+			// New rotation annihilating H[k+1][k].
+			denom := math.Hypot(cmplx.Abs(H[k][k]), cmplx.Abs(H[k+1][k]))
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = complex(cmplx.Abs(H[k][k])/denom, 0)
+				if cmplx.Abs(H[k][k]) > 0 {
+					ph := H[k][k] / complex(cmplx.Abs(H[k][k]), 0)
+					sn[k] = ph * cmplx.Conj(H[k+1][k]) / complex(denom, 0)
+				} else {
+					sn[k] = complex(1, 0)
+				}
+			}
+			t := cs[k]*H[k][k] + sn[k]*H[k+1][k]
+			H[k][k] = t
+			H[k+1][k] = 0
+			g[k+1] = -cmplx.Conj(sn[k]) * g[k]
+			g[k] = cs[k] * g[k]
+			if cmplx.Abs(g[k+1])/bnorm < opt.Tol {
+				k++
+				break
+			}
+			if V[k+1] == nil {
+				k++
+				break // lucky breakdown: exact solution in the subspace
+			}
+		}
+		// Solve the triangular system H y = g.
+		y := make([]complex128, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= H[i][j] * y[j]
+			}
+			if H[i][i] == 0 {
+				return nil, fmt.Errorf("bem: GMRES breakdown (singular Hessenberg at %d)", i)
+			}
+			y[i] = s / H[i][i]
+		}
+		for i := 0; i < k; i++ {
+			for j := range x {
+				x[j] += y[i] * V[i][j]
+			}
+		}
+		// Converged inside the cycle?
+		res := cmplx.Abs(g[k]) / bnorm
+		if res < opt.Tol {
+			return &GMRESResult{X: x, Residual: res, Iterations: iters, Converged: true}, nil
+		}
+	}
+	// Final residual.
+	ax := apply(x)
+	r := 0.0
+	for i := range b {
+		d := b[i] - ax[i]
+		r += real(d)*real(d) + imag(d)*imag(d)
+	}
+	rr := math.Sqrt(r) / bnorm
+	return &GMRESResult{X: x, Residual: rr, Iterations: iters, Converged: rr < opt.Tol}, nil
+}
+
+// SolveScattering solves the first-kind single-layer system
+// Σ_j G(x_i, x_j) q_j = -u_inc(x_i) for the induced strengths q, using
+// the treecode matvec with a diagonal (self-term) regularization d·I:
+// (d·I + G) q = rhs. The diagonal stands in for the singular self-patch
+// integral a real BEM discretization would carry; it also keeps the
+// system well conditioned.
+func SolveScattering(src []Source, k, diag float64, rhs []complex128, cfg Config, opt GMRESOptions) (*GMRESResult, error) {
+	ev := NewEvaluator(src, k, cfg)
+	apply := func(x []complex128) []complex128 {
+		y, _ := ev.MatVec(x)
+		for i := range y {
+			y[i] += complex(diag, 0) * x[i]
+		}
+		return y
+	}
+	return GMRES(apply, rhs, nil, opt)
+}

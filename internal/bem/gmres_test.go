@@ -1,0 +1,163 @@
+package bem
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// denseApply builds a MatVecFunc from an explicit matrix.
+func denseApply(a [][]complex128) MatVecFunc {
+	return func(x []complex128) []complex128 {
+		n := len(a)
+		y := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := 0; j < n; j++ {
+				s += a[i][j] * x[j]
+			}
+			y[i] = s
+		}
+		return y
+	}
+}
+
+// randomSystem builds a diagonally dominant complex system with a known
+// solution.
+func randomSystem(rng *rand.Rand, n int) (a [][]complex128, x, b []complex128) {
+	a = make([][]complex128, n)
+	x = make([]complex128, n)
+	for i := range a {
+		a[i] = make([]complex128, n)
+		for j := range a[i] {
+			a[i][j] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.1
+		}
+		a[i][i] += complex(float64(n), 0) // dominance
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b = denseApply(a)(x)
+	return
+}
+
+func TestGMRESSolvesDenseSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, want, b := randomSystem(rng, 60)
+	res, err := GMRES(denseApply(a), b, nil, GMRESOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: residual %v after %d iters", res.Residual, res.Iterations)
+	}
+	for i := range want {
+		if cmplx.Abs(res.X[i]-want[i]) > 1e-7*(1+cmplx.Abs(want[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestGMRESRestartPath(t *testing.T) {
+	// Restart smaller than the natural Krylov dimension forces the outer
+	// loop to cycle.
+	rng := rand.New(rand.NewSource(2))
+	a, want, b := randomSystem(rng, 80)
+	res, err := GMRES(denseApply(a), b, nil, GMRESOptions{Tol: 1e-9, Restart: 5, MaxIters: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("restarted GMRES did not converge: %v", res.Residual)
+	}
+	var worst float64
+	for i := range want {
+		worst = math.Max(worst, cmplx.Abs(res.X[i]-want[i]))
+	}
+	if worst > 1e-5 {
+		t.Fatalf("solution error %v", worst)
+	}
+}
+
+func TestGMRESInitialGuess(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, want, b := randomSystem(rng, 40)
+	// Starting at the answer converges immediately.
+	res, err := GMRES(denseApply(a), b, want, GMRESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations > 1 {
+		t.Fatalf("warm start took %d iterations", res.Iterations)
+	}
+	if _, err := GMRES(denseApply(a), b, make([]complex128, 7), GMRESOptions{}); err == nil {
+		t.Fatal("wrong-length guess accepted")
+	}
+}
+
+func TestGMRESEdgeCases(t *testing.T) {
+	res, err := GMRES(nil, nil, nil, GMRESOptions{})
+	if err != nil || !res.Converged {
+		t.Fatal("empty system should trivially converge")
+	}
+	// Zero right-hand side → zero solution.
+	res, err = GMRES(denseApply([][]complex128{{1}}), []complex128{0}, nil, GMRESOptions{})
+	if err != nil || !res.Converged || res.X[0] != 0 {
+		t.Fatalf("zero rhs: %+v, %v", res, err)
+	}
+}
+
+func TestGMRESIdentity(t *testing.T) {
+	b := []complex128{1 + 2i, 3, -4i}
+	res, err := GMRES(func(x []complex128) []complex128 {
+		y := make([]complex128, len(x))
+		copy(y, x)
+		return y
+	}, b, nil, GMRESOptions{})
+	if err != nil || !res.Converged {
+		t.Fatal("identity solve failed")
+	}
+	for i := range b {
+		if cmplx.Abs(res.X[i]-b[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %v", i, res.X[i])
+		}
+	}
+}
+
+func TestSolveScatteringConverges(t *testing.T) {
+	// A regularized single-layer system on a small sphere: the solve must
+	// converge and the recovered strengths must reproduce the right-hand
+	// side through an exact (direct) product.
+	const n, k = 400, 1.0
+	src := SpherePanels(n, 1.0, k)
+	rhs := make([]complex128, n)
+	for _, s := range src {
+		rhs[s.ID] = -s.Strength // -u_inc at the collocation points
+	}
+	const diag = 25.0
+	res, err := SolveScattering(src, k, diag, rhs, Config{Alpha: 0.3, Kappa: 0.3}, GMRESOptions{Tol: 1e-8, MaxIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("scattering solve did not converge: residual %v", res.Residual)
+	}
+	// Verify against the exact operator: (diag·I + G) x ≈ rhs. The
+	// treecode operator differs from the exact one by its approximation
+	// error, so the verification tolerance is the treecode tolerance, not
+	// the solver tolerance.
+	withStrengths := make([]Source, n)
+	copy(withStrengths, src)
+	for i := range withStrengths {
+		withStrengths[i].Strength = res.X[i]
+	}
+	exact := Direct(withStrengths, k)
+	var num, den float64
+	for i := range rhs {
+		got := exact[i] + complex(diag, 0)*res.X[i]
+		num += cmplx.Abs(got-rhs[i]) * cmplx.Abs(got-rhs[i])
+		den += cmplx.Abs(rhs[i]) * cmplx.Abs(rhs[i])
+	}
+	if math.Sqrt(num/den) > 2e-2 {
+		t.Fatalf("recovered strengths violate the exact system by %v", math.Sqrt(num/den))
+	}
+}

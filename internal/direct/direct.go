@@ -1,0 +1,130 @@
+// Package direct implements the O(n²) all-pairs force and potential
+// computations. It is the accuracy ground truth for the hierarchical
+// method and the baseline whose cost motivates treecodes in the first
+// place.
+package direct
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/phys"
+	"repro/internal/vec"
+)
+
+// Accels returns the exact softened gravitational acceleration on every
+// particle due to all others.
+func Accels(ps []dist.Particle, eps float64) []vec.V3 {
+	out := make([]vec.V3, len(ps))
+	for i := range ps {
+		var a vec.V3
+		for j := range ps {
+			if i == j {
+				continue
+			}
+			a = a.Add(phys.Accel(ps[i].Pos, ps[j].Pos, ps[j].Mass, eps))
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// Potentials returns the exact (unsoftened unless eps > 0) potential at
+// every particle due to all others.
+func Potentials(ps []dist.Particle, eps float64) []float64 {
+	out := make([]float64, len(ps))
+	for i := range ps {
+		var phi float64
+		for j := range ps {
+			if i == j {
+				continue
+			}
+			phi += phys.Potential(ps[i].Pos, ps[j].Pos, ps[j].Mass, eps)
+		}
+		out[i] = phi
+	}
+	return out
+}
+
+// AccelsParallel computes Accels using all available cores; results are
+// identical to Accels (same summation order per particle).
+func AccelsParallel(ps []dist.Particle, eps float64) []vec.V3 {
+	out := make([]vec.V3, len(ps))
+	parallelFor(len(ps), func(i int) {
+		var a vec.V3
+		for j := range ps {
+			if i == j {
+				continue
+			}
+			a = a.Add(phys.Accel(ps[i].Pos, ps[j].Pos, ps[j].Mass, eps))
+		}
+		out[i] = a
+	})
+	return out
+}
+
+// PotentialsParallel computes Potentials using all available cores.
+func PotentialsParallel(ps []dist.Particle, eps float64) []float64 {
+	out := make([]float64, len(ps))
+	parallelFor(len(ps), func(i int) {
+		var phi float64
+		for j := range ps {
+			if i == j {
+				continue
+			}
+			phi += phys.Potential(ps[i].Pos, ps[j].Pos, ps[j].Mass, eps)
+		}
+		out[i] = phi
+	})
+	return out
+}
+
+// TotalEnergy returns kinetic plus potential energy of the system (each
+// pair counted once), the conserved quantity integrators are checked
+// against.
+func TotalEnergy(ps []dist.Particle, eps float64) float64 {
+	var ke, pe float64
+	for i := range ps {
+		ke += 0.5 * ps[i].Mass * ps[i].Vel.Norm2()
+		for j := i + 1; j < len(ps); j++ {
+			pe += ps[i].Mass * phys.Potential(ps[i].Pos, ps[j].Pos, ps[j].Mass, eps)
+		}
+	}
+	return ke + pe
+}
+
+// parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers in
+// contiguous blocks.
+func parallelFor(n int, body func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

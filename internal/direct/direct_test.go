@@ -1,0 +1,92 @@
+package direct
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/vec"
+)
+
+func twoBody() []dist.Particle {
+	return []dist.Particle{
+		{ID: 0, Mass: 1, Pos: vec.V3{}},
+		{ID: 1, Mass: 1, Pos: vec.V3{X: 2}},
+	}
+}
+
+func TestTwoBodyAccel(t *testing.T) {
+	a := Accels(twoBody(), 0)
+	// |a| = G m / r² = 1/4, directed toward the other particle.
+	if math.Abs(a[0].X-0.25) > 1e-15 || math.Abs(a[1].X+0.25) > 1e-15 {
+		t.Fatalf("accels = %v", a)
+	}
+	if a[0].Y != 0 || a[0].Z != 0 {
+		t.Fatalf("off-axis force: %v", a[0])
+	}
+}
+
+func TestTwoBodyPotential(t *testing.T) {
+	phi := Potentials(twoBody(), 0)
+	if math.Abs(phi[0]+0.5) > 1e-15 || math.Abs(phi[1]+0.5) > 1e-15 {
+		t.Fatalf("potentials = %v", phi)
+	}
+}
+
+func TestNewtonThirdLaw(t *testing.T) {
+	// Total momentum change must vanish: Σ m a = 0.
+	s := dist.MustNamed("plummer", 500, 1)
+	a := Accels(s.Particles, 0.01)
+	var f vec.V3
+	for i := range a {
+		f = f.Add(a[i].Scale(s.Particles[i].Mass))
+	}
+	if f.Norm() > 1e-12 {
+		t.Fatalf("net force = %v", f)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	s := dist.MustNamed("g", 700, 2)
+	as := Accels(s.Particles, 0.02)
+	ap := AccelsParallel(s.Particles, 0.02)
+	for i := range as {
+		if as[i] != ap[i] {
+			t.Fatalf("accel %d: serial %v parallel %v", i, as[i], ap[i])
+		}
+	}
+	ps := Potentials(s.Particles, 0.02)
+	pp := PotentialsParallel(s.Particles, 0.02)
+	for i := range ps {
+		if ps[i] != pp[i] {
+			t.Fatalf("potential %d: serial %v parallel %v", i, ps[i], pp[i])
+		}
+	}
+}
+
+func TestTotalEnergyTwoBody(t *testing.T) {
+	ps := twoBody()
+	ps[0].Vel = vec.V3{Y: 0.5}
+	ps[1].Vel = vec.V3{Y: -0.5}
+	// KE = 2 · ½ · 1 · 0.25 = 0.25; PE = -1·1/2 = -0.5.
+	e := TotalEnergy(ps, 0)
+	if math.Abs(e+0.25) > 1e-15 {
+		t.Fatalf("energy = %v", e)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if got := Accels(nil, 0); len(got) != 0 {
+		t.Fatal("nil input produced output")
+	}
+	one := []dist.Particle{{ID: 0, Mass: 1, Pos: vec.V3{X: 1}}}
+	if a := Accels(one, 0); a[0] != (vec.V3{}) {
+		t.Fatalf("lone particle accel = %v", a[0])
+	}
+	if p := Potentials(one, 0); p[0] != 0 {
+		t.Fatalf("lone particle potential = %v", p[0])
+	}
+	if e := TotalEnergy(one, 0); e != 0 {
+		t.Fatalf("lone particle energy = %v", e)
+	}
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/msg"
+	"repro/internal/parbh"
+	"repro/internal/partition"
+	"repro/internal/phys"
+)
+
+// KruskalWeissTable validates Section 4.1: the Kruskal–Weiss bound on the
+// completion time of randomly assigned clusters, as a function of the
+// number of clusters r. Cluster loads come from a real dataset.
+func KruskalWeissTable(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	set, err := Dataset("g_326214", opt)
+	if err != nil {
+		return Table{}, err
+	}
+	const p = 64
+	t := Table{
+		ID:      "Section 4.1",
+		Title:   fmt.Sprintf("Kruskal–Weiss bound vs measured random assignment (p=%d; r ≥ p·log p = %d)", p, model.MinClusters(p)),
+		Columns: []string{"r", "pred work", "pred total", "measured max", "pred eff", "meas eff"},
+	}
+	for _, g := range []int{2, 3, 4, 5} {
+		r := 1 << (3 * g)
+		grid, err := partition.NewGrid(set.Domain, 1<<g, 1<<g, 1<<g)
+		if err != nil {
+			return t, err
+		}
+		buckets := grid.Bucket(set.Particles)
+		loads := make([]float64, grid.NumClusters())
+		var total float64
+		for c, b := range buckets {
+			loads[c] = float64(len(b))
+			total += loads[c]
+		}
+		mu, sigma := model.LoadStats(loads)
+		pred := model.KruskalWeiss(r, p, mu, sigma)
+		var worst float64
+		for trial := int64(0); trial < 10; trial++ {
+			if m := model.RandomAssignmentMax(loads, p, trial); m > worst {
+				worst = m
+			}
+		}
+		measEff := (total / float64(p)) / worst
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r), f2(pred.Work), f2(pred.Total()), f2(worst),
+			f3(model.Efficiency(r, p, mu, sigma)), f3(measEff),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: predicted and measured efficiency rise with r;",
+		"random assignment upper-bounds the modular (scatter) assignment the SPSA scheme uses")
+	return t, nil
+}
+
+// ShippingTable validates Section 4.2.1–4.2.2: communication volume and
+// parallel time of function shipping vs data shipping as the multipole
+// degree grows.
+func ShippingTable(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	set, err := Dataset("g_160535", opt)
+	if err != nil {
+		return Table{}, err
+	}
+	p := 16
+	if p > opt.MaxProcs {
+		p = opt.MaxProcs
+	}
+	t := Table{
+		ID:    "Section 4.2",
+		Title: fmt.Sprintf("Function vs data shipping vs multipole degree (SPSA, p=%d, simulated CM5)", p),
+		Columns: []string{"degree", "func words/event", "data words/event",
+			"func Mwords", "data Mwords", "volume ratio", "func time", "data time"},
+	}
+	for _, deg := range []int{2, 4, 6} {
+		var words [2]int64
+		var times [2]float64
+		for si, sh := range []parbh.Shipping{parbh.FunctionShipping, parbh.DataShipping} {
+			res, err := run(set, runCfg{
+				scheme: parbh.SPSA, mode: parbh.PotentialMode, p: p, alpha: 0.67,
+				degree: deg, gridLog2: 3, profile: msg.CM5(), shipping: sh,
+			})
+			if err != nil {
+				return t, err
+			}
+			words[si] = res.CommWords
+			times[si] = res.SimTime
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(deg),
+			"4", fmt.Sprint(phys.SeriesFloats(deg)),
+			f3(float64(words[0]) / 1e6), f3(float64(words[1]) / 1e6),
+			f2(float64(words[1]) / float64(words[0])),
+			f2(times[0]), f2(times[1]),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"per-event units reproduce Section 4.2.1 exactly: a shipped particle costs a constant",
+		"~4 words while a shipped degree-k series costs Θ(k²) words;",
+		"the measured totals use a locally-essential-tree (cached) data-shipping engine — a best",
+		"case for data shipping — so the measured ratio understates the paper's per-visit model;",
+		"the ratio still grows with the degree, which is the claim")
+	return t, nil
+}
+
+// BinSizeTable sweeps the function-shipping bin size around the paper's
+// choice of 100 particles per bin (Section 3.2).
+func BinSizeTable(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	set, err := Dataset("g_160535", opt)
+	if err != nil {
+		return Table{}, err
+	}
+	p := 16
+	if p > opt.MaxProcs {
+		p = opt.MaxProcs
+	}
+	t := Table{
+		ID:      "Ablation: bin size",
+		Title:   fmt.Sprintf("Function-shipping bin size sweep (SPSA, p=%d, simulated nCUBE2)", p),
+		Columns: []string{"bin size", "messages", "sim time"},
+	}
+	for _, bin := range []int{10, 25, 100, 400, 1600} {
+		m := msg.NewMachine(p, msg.NCube2())
+		e, err := parbh.New(m, set, parbh.Config{
+			Scheme: parbh.SPSA, Mode: parbh.ForceMode, Alpha: 0.67, Eps: 0.01,
+			GridLog2: 4, BinSize: bin,
+		})
+		if err != nil {
+			return t, err
+		}
+		e.Step()
+		res := e.Step()
+		t.Rows = append(t.Rows, []string{fmt.Sprint(bin), fmt.Sprint(res.CommMessages), f2(res.SimTime)})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: small bins pay per-message start-up latency; very large bins reduce overlap;",
+		"the paper settles on ~100 particles per bin")
+	return t, nil
+}
+
+// LookupTable compares the two branch-node lookup structures of
+// Section 4.2.3 (hash table vs sorted table + binary search) by simulated
+// and wall-clock time.
+func LookupTable(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	set, err := Dataset("g_160535", opt)
+	if err != nil {
+		return Table{}, err
+	}
+	p := 16
+	if p > opt.MaxProcs {
+		p = opt.MaxProcs
+	}
+	t := Table{
+		ID:      "Section 4.2.3",
+		Title:   fmt.Sprintf("Branch-node lookup: hash vs sorted table (SPSA, p=%d)", p),
+		Columns: []string{"lookup", "sim time", "wall ms"},
+	}
+	for _, lk := range []parbh.Lookup{parbh.HashLookup, parbh.SortedLookup} {
+		name := "hash"
+		if lk == parbh.SortedLookup {
+			name = "sorted"
+		}
+		start := time.Now()
+		res, err := run(set, runCfg{
+			scheme: parbh.SPSA, mode: parbh.ForceMode, p: p, alpha: 0.67,
+			eps: 0.01, gridLog2: 4, profile: msg.NCube2(), lookup: lk,
+		})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{name, f2(res.SimTime),
+			fmt.Sprintf("%.0f", float64(time.Since(start).Milliseconds()))})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape (paper): no significant difference — each lookup is followed by an entire subtree interaction")
+	return t, nil
+}
+
+// OrderingTable compares Morton and Peano–Hilbert cluster orderings for
+// the SPDA scheme (the paper uses Morton; costzones uses Hilbert).
+func OrderingTable(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	set, err := Dataset("s_10g_a", opt)
+	if err != nil {
+		return Table{}, err
+	}
+	p := 16
+	if p > opt.MaxProcs {
+		p = opt.MaxProcs
+	}
+	t := Table{
+		ID:      "Ablation: SFC ordering",
+		Title:   fmt.Sprintf("SPDA with Morton vs Hilbert cluster ordering (p=%d)", p),
+		Columns: []string{"ordering", "imbalance", "comm Mwords", "sim time"},
+	}
+	for _, ord := range []parbh.Ordering{parbh.MortonOrdering, parbh.HilbertOrdering} {
+		name := "Morton"
+		if ord == parbh.HilbertOrdering {
+			name = "Hilbert"
+		}
+		res, err := run(set, runCfg{
+			scheme: parbh.SPDA, mode: parbh.ForceMode, p: p, alpha: 0.67,
+			eps: 0.01, gridLog2: 4, profile: msg.NCube2(), ordering: ord, warmup: 2,
+		})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{name, f3(res.Imbalance),
+			f3(float64(res.CommWords) / 1e6), f2(res.SimTime)})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: similar communication volume; balance depends on where the run",
+		"boundaries fall relative to the load concentrations, so neither ordering dominates")
+	return t, nil
+}
+
+// TreeBuildTable compares the broadcast-based and non-replicated top-tree
+// constructions (Sections 3.1.1 and 3.1.2).
+func TreeBuildTable(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	set, err := Dataset("g_160535", opt)
+	if err != nil {
+		return Table{}, err
+	}
+	ps := procList(opt, 16, 64)
+	t := Table{
+		ID:      "Section 3.1",
+		Title:   "Broadcast-based vs non-replicated tree construction (SPSA)",
+		Columns: []string{"p", "variant", "merge time", "broadcast time", "total"},
+	}
+	for _, p := range ps {
+		for _, tb := range []parbh.TreeBuild{parbh.BroadcastBuild, parbh.NonReplicatedBuild} {
+			name := "broadcast"
+			if tb == parbh.NonReplicatedBuild {
+				name = "non-replicated"
+			}
+			res, err := run(set, runCfg{
+				scheme: parbh.SPSA, mode: parbh.ForceMode, p: p, alpha: 0.67,
+				eps: 0.01, gridLog2: 4, profile: msg.NCube2(), build: tb,
+			})
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{fmt.Sprint(p), name,
+				f3(res.Phases[parbh.PhaseTreeMerge]),
+				f3(res.Phases[parbh.PhaseBroadcast]),
+				f2(res.SimTime)})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: non-replicated construction removes the redundant top-tree merge compute;",
+		"the saving is small because the top tree is tiny relative to the force phase")
+	return t, nil
+}

@@ -1,0 +1,181 @@
+package integrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/direct"
+	"repro/internal/dist"
+	"repro/internal/phys"
+	"repro/internal/vec"
+)
+
+// kepler builds a two-body system on a circular orbit: masses 1 and 1e-3,
+// separation 1, G = 1.
+func kepler() []dist.Particle {
+	const m1, m2 = 1.0, 1e-3
+	v := math.Sqrt((m1 + m2) / 1.0)
+	return []dist.Particle{
+		{ID: 0, Mass: m1, Pos: vec.V3{}, Vel: vec.V3{Y: -v * m2 / (m1 + m2)}},
+		{ID: 1, Mass: m2, Pos: vec.V3{X: 1}, Vel: vec.V3{Y: v * m1 / (m1 + m2)}},
+	}
+}
+
+// eccentric builds a two-body orbit with eccentricity 0.6 started at
+// aphelion (semi-major axis 1). Eccentric orbits expose integrator error
+// that circular orbits hide (symplectic error oscillates and cancels over
+// a period on a circle).
+func eccentric() []dist.Particle {
+	const m1, m2 = 1.0, 1e-3
+	const e, a = 0.6, 1.0
+	rAp := a * (1 + e)
+	vAp := math.Sqrt((m1 + m2) * (1 - e) / (a * (1 + e)))
+	return []dist.Particle{
+		{ID: 0, Mass: m1, Pos: vec.V3{}, Vel: vec.V3{Y: -vAp * m2 / (m1 + m2)}},
+		{ID: 1, Mass: m2, Pos: vec.V3{X: rAp}, Vel: vec.V3{Y: vAp * m1 / (m1 + m2)}},
+	}
+}
+
+func directAccel(ps []dist.Particle) []vec.V3 { return direct.Accels(ps, 0) }
+
+// energyDrift integrates one orbital period of the eccentric orbit and
+// returns the maximum relative energy deviation along the trajectory.
+func energyDrift(t *testing.T, ig Integrator, dt float64) float64 {
+	t.Helper()
+	ps := eccentric()
+	ig.Reset()
+	e0 := direct.TotalEnergy(ps, 0)
+	period := 2 * math.Pi // a = 1, μ ≈ 1
+	steps := int(period / dt)
+	var worst float64
+	for i := 0; i < steps; i++ {
+		ig.Step(ps, dt, directAccel)
+		if d := math.Abs((direct.TotalEnergy(ps, 0) - e0) / e0); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"euler", "leapfrog", "kdk", "yoshida4", "yoshida"} {
+		ig, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ig.Evals() < 1 {
+			t.Fatalf("%s: evals = %d", name, ig.Evals())
+		}
+	}
+	if _, err := New("rk4"); err == nil {
+		t.Fatal("unknown integrator accepted")
+	}
+}
+
+func TestLeapfrogBeatsEuler(t *testing.T) {
+	const dt = 0.01
+	euler := energyDrift(t, &Euler{}, dt)
+	lf := energyDrift(t, &Leapfrog{}, dt)
+	if lf >= euler {
+		t.Fatalf("leapfrog drift %v not below euler %v", lf, euler)
+	}
+	// e=0.6 concentrates force at perihelion; dt=0.01 there is coarse, so
+	// the max in-orbit deviation is ~1e-3, far below Euler's.
+	if lf > 5e-3 {
+		t.Fatalf("leapfrog drift %v too large", lf)
+	}
+}
+
+func TestYoshidaBeatsLeapfrog(t *testing.T) {
+	const dt = 0.02
+	lf := energyDrift(t, &Leapfrog{}, dt)
+	y4 := energyDrift(t, NewYoshida4(), dt)
+	if y4 >= lf {
+		t.Fatalf("yoshida4 drift %v not below leapfrog %v", y4, lf)
+	}
+}
+
+func TestLeapfrogIsSecondOrder(t *testing.T) {
+	// Halving dt should cut the energy error by ≈4 (order 2).
+	e1 := energyDrift(t, &Leapfrog{}, 0.02)
+	e2 := energyDrift(t, &Leapfrog{}, 0.01)
+	ratio := e1 / e2
+	if ratio < 2.5 {
+		t.Fatalf("convergence ratio %v, want ≈4", ratio)
+	}
+}
+
+func TestYoshidaIsFourthOrder(t *testing.T) {
+	e1 := energyDrift(t, NewYoshida4(), 0.04)
+	e2 := energyDrift(t, NewYoshida4(), 0.02)
+	ratio := e1 / e2
+	if ratio < 8 {
+		t.Fatalf("convergence ratio %v, want ≈16", ratio)
+	}
+}
+
+func TestOrbitStaysCircular(t *testing.T) {
+	ps := kepler()
+	lf := &Leapfrog{}
+	dt := 0.005
+	for i := 0; i < int(2*math.Pi/dt); i++ {
+		lf.Step(ps, dt, directAccel)
+		r := ps[1].Pos.Dist(ps[0].Pos)
+		if r < 0.98 || r > 1.02 {
+			t.Fatalf("orbit radius %v at step %d", r, i)
+		}
+	}
+}
+
+func TestResetForcesRecomputation(t *testing.T) {
+	ps := kepler()
+	lf := &Leapfrog{}
+	lf.Step(ps, 0.01, directAccel)
+	// Externally perturb the state; without Reset the cached acceleration
+	// would be stale.
+	ps[1].Pos = ps[1].Pos.Add(vec.V3{X: 0.5})
+	lf.Reset()
+	calls := 0
+	lf.Step(ps, 0.01, func(ps []dist.Particle) []vec.V3 {
+		calls++
+		return directAccel(ps)
+	})
+	if calls != 2 { // leading kick recompute + trailing kick
+		t.Fatalf("accel calls after Reset = %d, want 2", calls)
+	}
+}
+
+func TestMomentumConservedExactly(t *testing.T) {
+	// Direct-summation forces are exactly antisymmetric, so every
+	// integrator here conserves momentum to rounding.
+	ps := dist.MustNamed("plummer", 100, 3).Particles
+	mom := func() vec.V3 {
+		var p vec.V3
+		for i := range ps {
+			p = p.Add(ps[i].Vel.Scale(ps[i].Mass))
+		}
+		return p
+	}
+	p0 := mom()
+	lf := &Leapfrog{}
+	for i := 0; i < 10; i++ {
+		lf.Step(ps, 0.01, func(ps []dist.Particle) []vec.V3 { return direct.Accels(ps, 0.05) })
+	}
+	if mom().Sub(p0).Norm() > 1e-12 {
+		t.Fatalf("momentum drift %v", mom().Sub(p0).Norm())
+	}
+}
+
+func TestEulerSingleEvalPerStep(t *testing.T) {
+	ps := kepler()
+	calls := 0
+	e := &Euler{}
+	e.Step(ps, 0.01, func(ps []dist.Particle) []vec.V3 {
+		calls++
+		return directAccel(ps)
+	})
+	if calls != 1 {
+		t.Fatalf("euler used %d evals", calls)
+	}
+	_ = phys.G
+}

@@ -1,0 +1,97 @@
+// Package model implements the analytical results of Section 4.1: the
+// Kruskal–Weiss bound on the completion time of r independent subtasks on
+// p processors, used by the paper to reason about how many clusters the
+// static decomposition needs (r ≥ p·log p) for the load-imbalance term to
+// grow slower than the essential computation.
+package model
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Prediction is the Kruskal–Weiss expected completion time split into its
+// two terms.
+type Prediction struct {
+	// Work is the essential-computation term r·μ/p.
+	Work float64
+	// Imbalance is the overhead term σ·sqrt(2·(r/p)·log p).
+	Imbalance float64
+}
+
+// Total returns the predicted completion time.
+func (p Prediction) Total() float64 { return p.Work + p.Imbalance }
+
+// KruskalWeiss evaluates the expected completion time of r independent
+// subtasks with mean load mu and standard deviation sigma, allocated
+// r/p at a time to each of p processors:
+//
+//	T_p ≈ r·μ/p + σ·sqrt(2·(r/p)·log p)
+//
+// valid when r is large compared to p·log p.
+func KruskalWeiss(r, p int, mu, sigma float64) Prediction {
+	if r <= 0 || p <= 0 {
+		return Prediction{}
+	}
+	rf, pf := float64(r), float64(p)
+	return Prediction{
+		Work:      rf * mu / pf,
+		Imbalance: sigma * math.Sqrt(2*(rf/pf)*math.Log(pf)),
+	}
+}
+
+// Efficiency returns the predicted parallel efficiency Work/Total.
+func Efficiency(r, p int, mu, sigma float64) float64 {
+	pred := KruskalWeiss(r, p, mu, sigma)
+	if pred.Total() == 0 {
+		return 1
+	}
+	return pred.Work / pred.Total()
+}
+
+// MinClusters returns the paper's r ≥ p·log₂(p) rule of thumb for the
+// number of clusters needed so the imbalance term grows slower than the
+// essential computation.
+func MinClusters(p int) int {
+	if p <= 1 {
+		return 1
+	}
+	return int(math.Ceil(float64(p) * math.Log2(float64(p))))
+}
+
+// LoadStats returns the mean and standard deviation of a load vector.
+func LoadStats(loads []float64) (mu, sigma float64) {
+	if len(loads) == 0 {
+		return 0, 0
+	}
+	for _, l := range loads {
+		mu += l
+	}
+	mu /= float64(len(loads))
+	for _, l := range loads {
+		d := l - mu
+		sigma += d * d
+	}
+	sigma = math.Sqrt(sigma / float64(len(loads)))
+	return
+}
+
+// RandomAssignmentMax simulates the random allocation Kruskal–Weiss
+// analyzes: clusters are dealt r/p at a time to processors in a random
+// order, and the maximum processor load (the completion time) is
+// returned. Used to validate the analytical bound empirically.
+func RandomAssignmentMax(loads []float64, p int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(loads))
+	per := make([]float64, p)
+	for i, idx := range perm {
+		per[i%p] += loads[idx]
+	}
+	var max float64
+	for _, l := range per {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -1,0 +1,134 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKruskalWeissTerms(t *testing.T) {
+	pred := KruskalWeiss(100, 4, 2, 0.5)
+	if math.Abs(pred.Work-50) > 1e-12 {
+		t.Fatalf("work term = %v", pred.Work)
+	}
+	want := 0.5 * math.Sqrt(2*25*math.Log(4))
+	if math.Abs(pred.Imbalance-want) > 1e-12 {
+		t.Fatalf("imbalance term = %v, want %v", pred.Imbalance, want)
+	}
+	if pred.Total() != pred.Work+pred.Imbalance {
+		t.Fatal("Total inconsistent")
+	}
+}
+
+func TestKruskalWeissDegenerate(t *testing.T) {
+	if KruskalWeiss(0, 4, 1, 1).Total() != 0 {
+		t.Fatal("r=0 not zero")
+	}
+	if KruskalWeiss(10, 0, 1, 1).Total() != 0 {
+		t.Fatal("p=0 not zero")
+	}
+	if Efficiency(0, 0, 0, 0) != 1 {
+		t.Fatal("degenerate efficiency")
+	}
+}
+
+func TestEfficiencyImprovesWithR(t *testing.T) {
+	// The paper's conclusion: increasing r grows the essential work
+	// linearly but the overhead only as sqrt(r), so efficiency rises.
+	prev := 0.0
+	for _, r := range []int{64, 256, 1024, 4096} {
+		e := Efficiency(r, 64, 1, 0.5)
+		if e <= prev {
+			t.Fatalf("efficiency %v at r=%d did not improve on %v", e, r, prev)
+		}
+		prev = e
+	}
+}
+
+func TestEfficiencyFallsWithP(t *testing.T) {
+	prev := 1.0
+	for _, p := range []int{4, 16, 64, 256} {
+		e := Efficiency(4096, p, 1, 0.5)
+		if e >= prev {
+			t.Fatalf("efficiency %v at p=%d did not fall from %v", e, p, prev)
+		}
+		prev = e
+	}
+}
+
+func TestMinClusters(t *testing.T) {
+	if MinClusters(1) != 1 {
+		t.Fatalf("MinClusters(1) = %d", MinClusters(1))
+	}
+	if MinClusters(16) != 64 {
+		t.Fatalf("MinClusters(16) = %d", MinClusters(16))
+	}
+	if MinClusters(256) != 2048 {
+		t.Fatalf("MinClusters(256) = %d", MinClusters(256))
+	}
+}
+
+func TestLoadStats(t *testing.T) {
+	mu, sigma := LoadStats([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mu != 5 {
+		t.Fatalf("mu = %v", mu)
+	}
+	if sigma != 2 {
+		t.Fatalf("sigma = %v", sigma)
+	}
+	mu, sigma = LoadStats(nil)
+	if mu != 0 || sigma != 0 {
+		t.Fatal("empty stats nonzero")
+	}
+}
+
+func TestBoundHoldsEmpirically(t *testing.T) {
+	// Draw normal cluster loads (the distribution class Kruskal–Weiss
+	// covers), randomly assign, and check the measured completion time is
+	// near the prediction: above the work term, and within a modest
+	// factor of work + imbalance.
+	rng := rand.New(rand.NewSource(42))
+	const r, p = 4096, 64
+	loads := make([]float64, r)
+	for i := range loads {
+		loads[i] = math.Max(0, 10+2*rng.NormFloat64())
+	}
+	mu, sigma := LoadStats(loads)
+	pred := KruskalWeiss(r, p, mu, sigma)
+	var worst float64
+	for trial := int64(0); trial < 20; trial++ {
+		m := RandomAssignmentMax(loads, p, trial)
+		if m > worst {
+			worst = m
+		}
+		if m < pred.Work*0.999 {
+			t.Fatalf("measured max %v below work term %v", m, pred.Work)
+		}
+	}
+	if worst > pred.Total()*1.25 {
+		t.Fatalf("measured %v exceeds prediction %v by too much", worst, pred.Total())
+	}
+}
+
+func TestImbalanceShrinksRelativeToWork(t *testing.T) {
+	// Measured overhead fraction (max/mean - 1) falls as r grows at fixed
+	// p, the empirical counterpart of the r ≥ p·log p rule.
+	rng := rand.New(rand.NewSource(7))
+	frac := func(r int) float64 {
+		loads := make([]float64, r)
+		for i := range loads {
+			loads[i] = math.Max(0, 10+3*rng.NormFloat64())
+		}
+		var total float64
+		for _, l := range loads {
+			total += l
+		}
+		const p = 32
+		m := RandomAssignmentMax(loads, p, 1)
+		return m/(total/p) - 1
+	}
+	f1, f2 := frac(256), frac(16384)
+	if f2 >= f1 {
+		t.Fatalf("overhead fraction did not shrink: r=256 %v, r=16384 %v", f1, f2)
+	}
+}

@@ -1,0 +1,432 @@
+// Package msg is the message-passing substrate the parallel Barnes–Hut
+// formulations run on. The paper's code ran on a 256-processor nCUBE2 and
+// a 256-processor CM5 through a native message layer; Go has neither
+// machine nor MPI, so this package provides both:
+//
+//   - an SPMD runtime: a Machine of P logical processors, each a
+//     goroutine, with blocking tagged point-to-point Send/Recv and the
+//     collective operations the paper uses (barrier, broadcast, all-to-all
+//     broadcast, all-to-all personalized, all-reduce), and
+//
+//   - a simulated machine clock per processor: computation is charged via
+//     the paper's flop-count cost model and communication via the
+//     classical ts + tw·m (+ per-hop) model with machine profiles for the
+//     nCUBE2 and CM5. Receives advance the receiver's clock to the
+//     message's arrival time, so per-phase maxima reproduce how the paper
+//     reports parallel runtimes — while the goroutines also give real
+//     parallelism on the host.
+//
+// All sends are logically buffered: a Send never blocks waiting for the
+// receiver (mailboxes grow as needed), matching the paper's one
+// outstanding-bin flow-control discipline being implemented *above* this
+// layer, not by it.
+package msg
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Topology selects how hop counts are computed for the per-hop term of
+// the communication model.
+type Topology int
+
+const (
+	// Hypercube distance is the Hamming distance of the processor ids
+	// (the nCUBE2 is a binary hypercube).
+	Hypercube Topology = iota
+	// FatTree charges a constant number of hops per message (the CM5's
+	// data network is a 4-ary fat tree; distance varies between 2 and
+	// 2·log4 p, approximated by the latter).
+	FatTree
+	// Uniform charges zero hops: a fully connected abstraction.
+	Uniform
+)
+
+// CostProfile holds the machine constants of the simulated computer.
+// Times are in seconds, rates in flops per second, words are 8-byte
+// float64s. The shipped profiles use published ballpark figures for the
+// paper's machines; all experiment conclusions depend only on the ratios.
+type CostProfile struct {
+	Name     string
+	FlopRate float64 // per-processor useful flop rate
+	TS       float64 // message startup latency (ts)
+	TW       float64 // per-word transfer time (tw)
+	TH       float64 // per-hop switching time (th)
+	Topology Topology
+	// StoreAndForward charges (TS + TW·m) per hop instead of cut-through
+	// TS + TH·hops + TW·m.
+	StoreAndForward bool
+}
+
+// NCube2 returns a cost profile for the 256-node nCUBE2: ~2 Mflop/s
+// scalar nodes, high startup latency, hypercube wormhole routing.
+func NCube2() CostProfile {
+	return CostProfile{
+		Name:     "nCUBE2",
+		FlopRate: 2.0e6,
+		TS:       160e-6,
+		TW:       2.4e-6,
+		TH:       4e-6,
+		Topology: Hypercube,
+	}
+}
+
+// CM5 returns a cost profile for the CM5: faster SPARC nodes, a fat-tree
+// network with lower per-word cost.
+func CM5() CostProfile {
+	return CostProfile{
+		Name:     "CM5",
+		FlopRate: 8.0e6,
+		TS:       86e-6,
+		TW:       0.9e-6,
+		TH:       2e-6,
+		Topology: FatTree,
+	}
+}
+
+// Ideal returns a profile with free communication; useful in tests that
+// check pure algorithm behaviour.
+func Ideal() CostProfile {
+	return CostProfile{Name: "ideal", FlopRate: 1e9, Topology: Uniform}
+}
+
+// Hops returns the number of network hops between two processors.
+func (c CostProfile) Hops(src, dst, p int) int {
+	if src == dst {
+		return 0
+	}
+	switch c.Topology {
+	case Hypercube:
+		return bits.OnesCount(uint(src ^ dst))
+	case FatTree:
+		// Up to the least common ancestor and back down; approximate with
+		// the tree height for a 4-ary fat tree.
+		h := 1
+		for n := 4; n < p; n *= 4 {
+			h++
+		}
+		return 2 * h
+	default:
+		return 0
+	}
+}
+
+// TransferTime returns the modelled time for a message of `words`
+// 8-byte words across `hops` hops.
+func (c CostProfile) TransferTime(words, hops int) float64 {
+	if c.StoreAndForward && hops > 1 {
+		return float64(hops) * (c.TS + c.TW*float64(words))
+	}
+	return c.TS + c.TH*float64(hops) + c.TW*float64(words)
+}
+
+// message is an in-flight tagged message.
+type message struct {
+	src, tag int
+	payload  any
+	words    int
+	arrival  float64 // simulated arrival time at the receiver
+}
+
+// mailbox is an unbounded tag-matched message queue.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	stopped bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (src, tag); src or
+// tag may be AnySource/AnyTag. block selects whether to wait.
+func (mb *mailbox) take(src, tag int, block bool) (message, bool) {
+	return mb.takeWhere(func(m *message) bool {
+		return (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag)
+	}, block)
+}
+
+// takeWhere removes and returns the first message satisfying pred.
+func (mb *mailbox) takeWhere(pred func(*message) bool, block bool) (message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i := range mb.queue {
+			if pred(&mb.queue[i]) {
+				m := mb.queue[i]
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m, true
+			}
+		}
+		if !block || mb.stopped {
+			return message{}, false
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) stop() {
+	mb.mu.Lock()
+	mb.stopped = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Stats aggregates a processor's simulated activity.
+type Stats struct {
+	ComputeTime float64 // seconds spent in modelled computation
+	CommTime    float64 // seconds the processor spent in send overhead and waiting
+	Messages    int64   // messages sent
+	Words       int64   // 8-byte words sent
+	Flops       float64 // flops charged
+}
+
+// Machine is a simulated multicomputer.
+type Machine struct {
+	P       int
+	Profile CostProfile
+	boxes   []*mailbox
+}
+
+// NewMachine creates a machine of p processors with the given profile.
+func NewMachine(p int, profile CostProfile) *Machine {
+	if p <= 0 {
+		panic(fmt.Sprintf("msg: invalid processor count %d", p))
+	}
+	m := &Machine{P: p, Profile: profile}
+	m.boxes = make([]*mailbox, p)
+	for i := range m.boxes {
+		m.boxes[i] = newMailbox()
+	}
+	return m
+}
+
+// Run executes body as an SPMD program: one goroutine per processor. It
+// returns the per-processor stats after all processors finish. A panic in
+// any processor is re-raised on the caller after the others are released.
+func (m *Machine) Run(body func(*Proc)) []Stats {
+	stats := make([]Stats, m.P)
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
+	for i := 0; i < m.P; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = fmt.Sprintf("proc %d: %v", id, r)
+					}
+					panicMu.Unlock()
+					// Release peers blocked in Recv so the run can unwind.
+					for _, b := range m.boxes {
+						b.stop()
+					}
+				}
+			}()
+			p := &Proc{id: id, m: m}
+			body(p)
+			stats[id] = p.stats
+		}(i)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	// Reset stop flags so the machine can be reused.
+	for _, b := range m.boxes {
+		b.mu.Lock()
+		b.stopped = false
+		b.queue = b.queue[:0]
+		b.mu.Unlock()
+	}
+	return stats
+}
+
+// MaxTime returns the parallel completion time implied by per-processor
+// stats: the maximum over processors of compute + communication time.
+func MaxTime(stats []Stats) float64 {
+	var t float64
+	for _, s := range stats {
+		if tt := s.ComputeTime + s.CommTime; tt > t {
+			t = tt
+		}
+	}
+	return t
+}
+
+// TotalWords sums the communication volume across processors.
+func TotalWords(stats []Stats) int64 {
+	var w int64
+	for _, s := range stats {
+		w += s.Words
+	}
+	return w
+}
+
+// TotalMessages sums the message count across processors.
+func TotalMessages(stats []Stats) int64 {
+	var n int64
+	for _, s := range stats {
+		n += s.Messages
+	}
+	return n
+}
+
+// Proc is one logical processor of a Machine. All methods must be called
+// only from the goroutine running that processor's body.
+type Proc struct {
+	id      int
+	m       *Machine
+	now     float64 // simulated local clock
+	stats   Stats
+	collSeq int // collective-operation sequence number (see collectives.go)
+}
+
+// ID returns the processor's rank in 0..P-1.
+func (p *Proc) ID() int { return p.id }
+
+// NumProcs returns the machine size.
+func (p *Proc) NumProcs() int { return p.m.P }
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Now returns the processor's simulated clock in seconds.
+func (p *Proc) Now() float64 { return p.now }
+
+// Stats returns a snapshot of the processor's accounting.
+func (p *Proc) Stats() Stats { return p.stats }
+
+// Compute charges flops of modelled computation to the local clock.
+func (p *Proc) Compute(flops float64) {
+	if flops < 0 {
+		panic("msg: negative flops")
+	}
+	p.stats.Flops += flops
+	dt := flops / p.m.Profile.FlopRate
+	p.now += dt
+	p.stats.ComputeTime += dt
+}
+
+// Sleep advances the clock without charging compute (models fixed
+// per-phase software overheads).
+func (p *Proc) Sleep(seconds float64) {
+	p.now += seconds
+	p.stats.CommTime += seconds
+}
+
+// Send transmits payload to processor dst with the given tag. words is
+// the modelled message size in 8-byte words. The sender is charged the
+// startup latency; the payload arrives at the modelled transfer time.
+func (p *Proc) Send(dst, tag int, payload any, words int) {
+	if dst < 0 || dst >= p.m.P {
+		panic(fmt.Sprintf("msg: send to invalid processor %d", dst))
+	}
+	prof := p.m.Profile
+	hops := prof.Hops(p.id, dst, p.m.P)
+	// Sender-side software overhead.
+	p.now += prof.TS
+	p.stats.CommTime += prof.TS
+	arrival := p.now + prof.TransferTime(words, hops)
+	p.stats.Messages++
+	p.stats.Words += int64(words)
+	if dst == p.id {
+		// Loopback: deliver without network cost beyond the startup.
+		arrival = p.now
+	}
+	p.m.boxes[dst].put(message{src: p.id, tag: tag, payload: payload, words: words, arrival: arrival})
+}
+
+// Recv blocks until a message matching (src, tag) arrives; wildcards
+// AnySource/AnyTag match anything. It advances the simulated clock to the
+// message arrival time (waiting is accounted as communication time) and
+// returns the payload with the actual source.
+func (p *Proc) Recv(src, tag int) (payload any, from int) {
+	msg, ok := p.m.boxes[p.id].take(src, tag, true)
+	if !ok {
+		panic("msg: machine stopped while receiving (peer panicked)")
+	}
+	if msg.arrival > p.now {
+		p.stats.CommTime += msg.arrival - p.now
+		p.now = msg.arrival
+	}
+	return msg.payload, msg.src
+}
+
+// TryRecv is a non-blocking Recv. ok reports whether a message matched.
+func (p *Proc) TryRecv(src, tag int) (payload any, from int, ok bool) {
+	msg, ok := p.m.boxes[p.id].take(src, tag, false)
+	if !ok {
+		return nil, 0, false
+	}
+	if msg.arrival > p.now {
+		p.stats.CommTime += msg.arrival - p.now
+		p.now = msg.arrival
+	}
+	return msg.payload, msg.src, true
+}
+
+// RecvTags blocks until a message whose tag is one of tags arrives and
+// returns it. Unlike Recv(AnySource, AnyTag) it will not consume messages
+// belonging to other protocols (e.g. in-flight collectives from
+// processors that have raced ahead).
+func (p *Proc) RecvTags(tags ...int) (payload any, from, tag int) {
+	msg, ok := p.m.boxes[p.id].takeWhere(func(m *message) bool {
+		for _, t := range tags {
+			if m.tag == t {
+				return true
+			}
+		}
+		return false
+	}, true)
+	if !ok {
+		panic("msg: machine stopped while receiving (peer panicked)")
+	}
+	if msg.arrival > p.now {
+		p.stats.CommTime += msg.arrival - p.now
+		p.now = msg.arrival
+	}
+	return msg.payload, msg.src, msg.tag
+}
+
+// TryRecvTags is the non-blocking variant of RecvTags.
+func (p *Proc) TryRecvTags(tags ...int) (payload any, from, tag int, ok bool) {
+	msg, ok := p.m.boxes[p.id].takeWhere(func(m *message) bool {
+		for _, t := range tags {
+			if m.tag == t {
+				return true
+			}
+		}
+		return false
+	}, false)
+	if !ok {
+		return nil, 0, 0, false
+	}
+	if msg.arrival > p.now {
+		p.stats.CommTime += msg.arrival - p.now
+		p.now = msg.arrival
+	}
+	return msg.payload, msg.src, msg.tag, true
+}

@@ -1,0 +1,908 @@
+package parbh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/keys"
+	"repro/internal/msg"
+	"repro/internal/partition"
+	"repro/internal/phys"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// Engine runs the parallel Barnes–Hut method on a simulated
+// message-passing machine. It holds the distribution state that persists
+// across time-steps: which processor owns which particles, the cluster
+// ownership map (SPSA/SPDA), the Morton/Hilbert cluster ordering, and the
+// DPDA zone boundary keys. Step executes one full time-step: particle
+// migration, distributed tree construction, force (or potential)
+// computation, and the scheme's load-balancing exchange.
+type Engine struct {
+	cfg     Config
+	machine *msg.Machine
+	domain  vec.Box
+	n       int
+
+	parts [][]dist.Particle // per-processor particle sets
+
+	// SPSA/SPDA state.
+	grid      *partition.Grid
+	owner     []int // cluster -> processor
+	clusOrder []int // cluster indices in curve order
+
+	// DPDA state: boundKeys[i] is the smallest full-resolution Morton key
+	// owned by processor i (boundKeys[0] = 0).
+	boundKeys []uint64
+
+	step int
+}
+
+// New prepares an engine for the particle set on the given machine. The
+// set's Domain must enclose the particles for the whole simulation (the
+// hierarchical decomposition is anchored to it).
+func New(machine *msg.Machine, set *dist.Set, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	p := machine.P
+	e := &Engine{cfg: cfg, machine: machine, n: set.N()}
+	e.domain = set.Domain.Cube()
+
+	switch cfg.Scheme {
+	case SPSA, SPDA:
+		r := 1 << cfg.GridLog2
+		if r*r*r < p {
+			return nil, fmt.Errorf("parbh: %d clusters cannot cover %d processors (raise GridLog2)", r*r*r, p)
+		}
+		grid, err := partition.NewGrid(e.domain, r, r, r)
+		if err != nil {
+			return nil, err
+		}
+		e.grid = grid
+		e.owner, err = grid.ScatterAssign(p)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Ordering == HilbertOrdering {
+			e.clusOrder = grid.HilbertOrder()
+		} else {
+			e.clusOrder = grid.MortonOrder()
+		}
+		e.parts = make([][]dist.Particle, p)
+		for _, q := range set.Particles {
+			o := e.owner[grid.ClusterOf(q.Pos)]
+			e.parts[o] = append(e.parts[o], q)
+		}
+	case DPDA:
+		// Bootstrap: Morton-sort and split into p equal-count zones,
+		// snapping boundaries to key changes so a full-resolution key is
+		// never owned by two processors.
+		ps := append([]dist.Particle(nil), set.Particles...)
+		keysOf := make([]uint64, len(ps))
+		for i := range ps {
+			keysOf[i] = fullResKeyOf(ps[i].Pos, e.domain)
+		}
+		sort.SliceStable(ps, func(a, b int) bool {
+			ka := fullResKeyOf(ps[a].Pos, e.domain)
+			kb := fullResKeyOf(ps[b].Pos, e.domain)
+			if ka != kb {
+				return ka < kb
+			}
+			return ps[a].ID < ps[b].ID
+		})
+		for i := range ps {
+			keysOf[i] = fullResKeyOf(ps[i].Pos, e.domain)
+		}
+		e.parts = make([][]dist.Particle, p)
+		e.boundKeys = make([]uint64, p)
+		cut := 0
+		for proc := 0; proc < p; proc++ {
+			end := (proc + 1) * len(ps) / p
+			if proc == p-1 {
+				end = len(ps)
+			}
+			if end < cut {
+				end = cut // earlier snapping consumed this zone
+			}
+			// Snap forward so equal keys stay together.
+			for end > cut && end < len(ps) && keysOf[end] == keysOf[end-1] {
+				end++
+			}
+			e.parts[proc] = ps[cut:end]
+			if proc == 0 {
+				e.boundKeys[proc] = 0
+			} else if cut < len(ps) {
+				e.boundKeys[proc] = keysOf[cut]
+			} else {
+				e.boundKeys[proc] = ^uint64(0)
+			}
+			cut = end
+		}
+	default:
+		return nil, fmt.Errorf("parbh: unknown scheme %v", cfg.Scheme)
+	}
+	return e, nil
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Domain returns the cubic root cell the decomposition is anchored to.
+func (e *Engine) Domain() vec.Box { return e.domain }
+
+// Parts returns the current per-processor particle sets (read-only view).
+func (e *Engine) Parts() [][]dist.Particle { return e.parts }
+
+// SetParticles replaces every particle's state keeping the current
+// ownership (used by the time integrator: positions advance in place).
+// updated must be indexed by particle ID.
+func (e *Engine) SetParticles(updated []dist.Particle) {
+	for proc := range e.parts {
+		for i := range e.parts[proc] {
+			e.parts[proc][i] = updated[e.parts[proc][i].ID]
+		}
+	}
+}
+
+// ownerOfPos returns the processor owning a position under the current
+// decomposition.
+func (e *Engine) ownerOfPos(pos vec.V3) int {
+	switch e.cfg.Scheme {
+	case SPSA, SPDA:
+		return e.owner[e.grid.ClusterOf(pos)]
+	default:
+		k := fullResKeyOf(pos, e.domain)
+		// Last boundary ≤ k.
+		i := sort.Search(len(e.boundKeys), func(i int) bool { return e.boundKeys[i] > k })
+		return i - 1
+	}
+}
+
+// localState carries one processor's per-step working data between
+// phases.
+type localState struct {
+	me       int
+	parts    []dist.Particle
+	branches []*tree.Node          // local branch subtree roots, Morton order
+	rootsMap map[uint64]*tree.Node // packed key -> branch root
+	lookup   branchLookup          // request-serving lookup structure
+	top      *pnode                // replicated global tree
+	summary  []BranchSummary       // this proc's branch summaries
+	stats    tree.Stats            // interaction counts charged here
+	forceT   float64               // compute-seconds spent in the force phase
+
+	// extraLoad attributes interactions computed against replicated top
+	// and remote summaries (which no tree node records) to the traversing
+	// particle, so the load-balancing schemes see the whole force cost of
+	// a region, not just its subtree-resident share.
+	extraLoad map[int]float64
+}
+
+// message tags of the engine protocols (collectives use their own space).
+const (
+	tagRequest = iota + 1
+	tagReply
+	tagDoneUp
+	tagDoneDown
+	tagFetchReq
+	tagFetchRep
+	tagBranchUp
+)
+
+// wireParticle is the particle representation moved between processors.
+type wireParticle struct {
+	ID   int32
+	Mass float64
+	Pos  vec.V3
+	Vel  vec.V3
+}
+
+const wireParticleWords = 8
+
+func toWire(ps []dist.Particle) []wireParticle {
+	out := make([]wireParticle, len(ps))
+	for i, q := range ps {
+		out[i] = wireParticle{ID: int32(q.ID), Mass: q.Mass, Pos: q.Pos, Vel: q.Vel}
+	}
+	return out
+}
+
+func fromWire(ws []wireParticle) []dist.Particle {
+	out := make([]dist.Particle, len(ws))
+	for i, w := range ws {
+		out[i] = dist.Particle{ID: int(w.ID), Mass: w.Mass, Pos: w.Pos, Vel: w.Vel}
+	}
+	return out
+}
+
+// Step runs one parallel time-step and returns its results and timings.
+func (e *Engine) Step() *Result {
+	p := e.machine.P
+	deg := e.cfg.degreeOrMonopole()
+
+	res := &Result{
+		Phases: make(map[string]float64),
+		PhaseOrder: []string{
+			PhaseMigrate, PhaseLocalTree, PhaseBroadcast, PhaseTreeMerge,
+			PhaseForce, PhaseLoadBal,
+		},
+	}
+	if e.cfg.Mode == ForceMode {
+		res.Accels = make([]vec.V3, e.n)
+	} else {
+		res.Potentials = make([]float64, e.n)
+	}
+
+	// Shared per-proc outputs (each goroutine writes only its own index,
+	// or distinct particle IDs it owns).
+	newParts := make([][]dist.Particle, p)
+	procStats := make([]tree.Stats, p)
+	forceTimes := make([]float64, p)
+	branchCounts := make([]int, p)
+	phaseTimes := make([][]float64, p)
+	var newOwner []int     // SPDA: next step's cluster assignment
+	var newBounds []uint64 // DPDA: next step's boundary keys
+
+	machineStats := e.machine.Run(func(pr *msg.Proc) {
+		st := &localState{me: pr.ID(), parts: e.parts[pr.ID()]}
+		marks := make([]float64, 0, 8)
+		mark := func() { marks = append(marks, pr.GlobalMaxTime()) }
+		mark()
+
+		e.migrate(pr, st)
+		mark()
+
+		e.buildLocal(pr, st)
+		mark()
+
+		all := e.exchangeBranches(pr, st)
+		mark()
+
+		e.buildTopPhase(pr, st, all)
+		mark()
+
+		e.forcePhase(pr, st, res)
+		mark()
+
+		no, nb := e.loadBalance(pr, st)
+		mark()
+
+		newParts[st.me] = st.parts
+		procStats[st.me] = st.stats
+		forceTimes[st.me] = st.forceT
+		branchCounts[st.me] = len(st.branches)
+		phaseTimes[st.me] = marks
+		if st.me == 0 {
+			newOwner = no
+			newBounds = nb
+		}
+	})
+
+	// Persist the distribution for the next step.
+	e.parts = newParts
+	if newOwner != nil {
+		e.owner = newOwner
+	}
+	if newBounds != nil {
+		e.boundKeys = newBounds
+	}
+	e.step++
+
+	// Assemble the result from processor 0's phase marks (identical on
+	// all processors by construction of GlobalMaxTime).
+	marks := phaseTimes[0]
+	for i, name := range res.PhaseOrder {
+		res.Phases[name] = marks[i+1] - marks[i]
+	}
+	if e.cfg.Scheme == SPSA {
+		// Static assignment has no load-balancing work (Table 3 reports
+		// 0); the measured residue is only the phase-delimiting collective.
+		res.Phases[PhaseLoadBal] = 0
+	}
+	for i := range procStats {
+		res.Stats.Add(procStats[i])
+	}
+	for _, b := range branchCounts {
+		res.BranchNodes += b
+	}
+	res.ProcStats = machineStats
+	res.SimTime = msg.MaxTime(machineStats)
+	res.CommWords = msg.TotalWords(machineStats)
+	res.CommMessages = msg.TotalMessages(machineStats)
+
+	// Sequential-time projection (Section 5: "speed-up and efficiency
+	// results are computed by extrapolating force computation rates on a
+	// single processor"): the essential force work plus a serial tree
+	// build estimate.
+	levels := math.Ceil(math.Log(math.Max(float64(e.n)/float64(e.cfg.LeafCap), 2))/math.Log(8)) + 1
+	seqFlops := res.Stats.Flops(deg) + float64(e.n)*levels*phys.TreeInsertFlops
+	if e.cfg.Mode == PotentialMode {
+		nodes := 2 * float64(e.n) / float64(e.cfg.LeafCap)
+		seqFlops += float64(e.n)*phys.P2MFlops(deg) + nodes*phys.M2MFlops(deg)
+	}
+	res.SeqTime = seqFlops / e.machine.Profile.FlopRate
+	if res.SimTime > 0 {
+		res.Speedup = res.SeqTime / res.SimTime
+		res.Efficiency = res.Speedup / float64(p)
+	}
+
+	// Imbalance of the force phase, by modelled compute time.
+	var sumT, maxT float64
+	for _, t := range forceTimes {
+		sumT += t
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if sumT > 0 {
+		res.Imbalance = maxT / (sumT / float64(p))
+	} else {
+		res.Imbalance = 1
+	}
+	return res
+}
+
+// migrate enforces ownership: particles that drifted out of their
+// processor's region since the last step are shipped to their current
+// owner with one all-to-all personalized exchange.
+func (e *Engine) migrate(pr *msg.Proc, st *localState) {
+	p := pr.NumProcs()
+	buckets := make([][]dist.Particle, p)
+	for _, q := range st.parts {
+		o := e.ownerOfPos(q.Pos)
+		buckets[o] = append(buckets[o], q)
+	}
+	pr.Compute(float64(len(st.parts)) * 6) // bucketing cost
+	payloads := make([]any, p)
+	words := make([]int, p)
+	for i := range buckets {
+		payloads[i] = toWire(buckets[i])
+		words[i] = wireParticleWords * len(buckets[i])
+	}
+	recv := pr.AllToAll(payloads, words)
+	var mine []dist.Particle
+	for src := 0; src < p; src++ {
+		mine = append(mine, fromWire(recv[src].([]wireParticle))...)
+	}
+	if e.cfg.Scheme == DPDA {
+		// Keep the local set Morton-sorted: the DPDA load balance relies
+		// on rank-concatenation being the global Morton order.
+		sort.SliceStable(mine, func(a, b int) bool {
+			ka := fullResKeyOf(mine[a].Pos, e.domain)
+			kb := fullResKeyOf(mine[b].Pos, e.domain)
+			if ka != kb {
+				return ka < kb
+			}
+			return mine[a].ID < mine[b].ID
+		})
+		pr.Compute(float64(len(mine)) * 12)
+	}
+	st.parts = mine
+}
+
+// buildLocal constructs this processor's branch subtrees (Section 3.1:
+// "each processor can independently construct their trees").
+func (e *Engine) buildLocal(pr *msg.Proc, st *localState) {
+	st.rootsMap = make(map[uint64]*tree.Node)
+	switch e.cfg.Scheme {
+	case SPSA, SPDA:
+		// One branch cell per owned, non-empty cluster.
+		byCluster := make(map[int][]dist.Particle)
+		for _, q := range st.parts {
+			c := e.grid.ClusterOf(q.Pos)
+			byCluster[c] = append(byCluster[c], q)
+		}
+		clusters := make([]int, 0, len(byCluster))
+		for c := range byCluster {
+			clusters = append(clusters, c)
+		}
+		sort.Ints(clusters)
+		lvl := uint8(e.cfg.GridLog2)
+		for _, c := range clusters {
+			i, j, k := e.grid.Coords(c)
+			ck := keys.CellKey{Level: lvl, Key: keys.Encode3(uint32(i), uint32(j), uint32(k))}
+			box := keys.CellBox(e.domain, ck)
+			n := tree.BuildSubtree(byCluster[c], box, ck, e.cfg.LeafCap)
+			st.branches = append(st.branches, n)
+			st.rootsMap[ck.Uint64()] = n
+		}
+		// Branch cells are already in Morton order because cluster indices
+		// were sorted... cluster index order is row-major, not Morton; sort
+		// branches by key for a canonical order.
+		sort.Slice(st.branches, func(a, b int) bool {
+			return st.branches[a].Key.Less(st.branches[b].Key)
+		})
+	case DPDA:
+		lo := e.boundKeys[st.me]
+		hi := ^uint64(0)
+		if st.me+1 < len(e.boundKeys) {
+			hi = e.boundKeys[st.me+1]
+		}
+		// The keyed build guarantees cell membership agrees with the
+		// quantized Morton keys that define zone ownership.
+		local := tree.BuildKeyed(st.parts, e.domain, e.cfg.LeafCap)
+		e.extractBranches(local.Root, lo, hi, st)
+	}
+	// Charge construction cost and build expansions.
+	var levels int64
+	for _, b := range st.branches {
+		levels += tree.ParticleLevels(b)
+	}
+	pr.Compute(float64(levels) * phys.TreeInsertFlops)
+	if e.cfg.Mode == PotentialMode {
+		for _, b := range st.branches {
+			tree.BuildNodeExpansions(b, e.cfg.Degree)
+			pr.Compute(float64(b.Count)*phys.P2MFlops(e.cfg.Degree) +
+				float64(tree.CountNodes(b))*phys.M2MFlops(e.cfg.Degree))
+		}
+	}
+	// Branch summaries.
+	withExp := e.cfg.Mode == PotentialMode
+	for _, b := range st.branches {
+		st.summary = append(st.summary, summaryOf(b, st.me, withExp))
+	}
+	// Lookup structure for serving requests.
+	if e.cfg.BranchLookup == SortedLookup {
+		st.lookup = newSortedLookup(st.rootsMap)
+	} else {
+		st.lookup = hashLookup(st.rootsMap)
+	}
+}
+
+// extractBranches finds the maximal cells fully contained in [lo, hi) —
+// this processor's branch nodes under the DPDA decomposition. A leaf that
+// straddles a zone boundary is pushed down ("we artificially force the
+// particles down", Section 3.1) until its fragments are fully contained.
+func (e *Engine) extractBranches(n *tree.Node, lo, hi uint64, st *localState) {
+	if n == nil || n.Count == 0 {
+		return
+	}
+	cLo, cHi := cellKeyRange(n.Key)
+	if cLo >= lo && cHi <= hi {
+		st.branches = append(st.branches, n)
+		st.rootsMap[n.Key.Uint64()] = n
+		return
+	}
+	if !n.IsLeaf() {
+		for _, c := range n.Children {
+			e.extractBranches(c, lo, hi, st)
+		}
+		return
+	}
+	if int(n.Key.Level) >= tree.MaxDepth {
+		// Cannot push further; claim the cell (boundary snapping makes a
+		// genuine cross-processor conflict impossible).
+		st.branches = append(st.branches, n)
+		st.rootsMap[n.Key.Uint64()] = n
+		return
+	}
+	// Split the leaf by key octant and recurse on the rebuilt fragments.
+	var buckets [8][]dist.Particle
+	for _, q := range n.Particles {
+		k := fullResKeyOf(q.Pos, e.domain)
+		oct := int(k>>(3*uint(keys.MaxBits3D-1-int(n.Key.Level)))) & 7
+		buckets[oct] = append(buckets[oct], q)
+	}
+	for oct := 0; oct < 8; oct++ {
+		if len(buckets[oct]) == 0 {
+			continue
+		}
+		child := tree.BuildSubtreeKeyed(buckets[oct], e.domain, n.Box.Octant(oct), n.Key.Child(oct), e.cfg.LeafCap)
+		e.extractBranches(child, lo, hi, st)
+	}
+}
+
+// exchangeBranches distributes branch summaries to every processor, via
+// either the broadcast-based construction (Section 3.1.1) or the
+// non-replicated construction (Section 3.1.2). It returns the full
+// summary list plus, for the non-replicated variant, precomputed
+// top-cell summaries keyed by packed cell key.
+type branchExchange struct {
+	all []BranchSummary
+	top map[uint64]BranchSummary // non-nil only for NonReplicatedBuild
+}
+
+func (e *Engine) exchangeBranches(pr *msg.Proc, st *localState) branchExchange {
+	words := 0
+	for _, s := range st.summary {
+		words += s.Words()
+	}
+	if e.cfg.TreeBuild == NonReplicatedBuild && (e.cfg.Scheme == SPSA || e.cfg.Scheme == SPDA) {
+		return e.exchangeNonReplicated(pr, st)
+	}
+	gathered := pr.AllGather(st.summary, words)
+	var all []BranchSummary
+	for _, g := range gathered {
+		all = append(all, g.([]BranchSummary)...)
+	}
+	return branchExchange{all: all}
+}
+
+// exchangeNonReplicated implements Section 3.1.2: each top cell has a
+// designated owner which computes it exactly once from its children's
+// summaries; the finished top levels are then made available to all
+// processors with one all-to-all broadcast.
+func (e *Engine) exchangeNonReplicated(pr *msg.Proc, st *localState) branchExchange {
+	p := pr.NumProcs()
+	me := st.me
+	deg := -1
+	if e.cfg.Mode == PotentialMode {
+		deg = e.cfg.Degree
+	}
+	ownerOfCell := func(ck keys.CellKey) int { return int(ck.Uint64() % uint64(p)) }
+
+	// Send each of my branch summaries to the owner of its parent cell.
+	for _, s := range st.summary {
+		ck := keys.CellKeyFromUint64(s.Key)
+		pr.Send(ownerOfCell(ck.Parent()), tagBranchUp, s, s.Words())
+	}
+	// Count, for every level from the branch level up, how many cells I
+	// own and how many children each expects. Every cluster owner sends a
+	// summary only for non-empty clusters, so expected counts must come
+	// from global knowledge: for SPSA/SPDA all branch cells live at one
+	// level, and each processor can enumerate the cells it owns at each
+	// upper level.
+	g := e.cfg.GridLog2
+	computed := make(map[uint64]BranchSummary)
+	for lvl := g - 1; lvl >= 0; lvl-- {
+		// Enumerate cells of this level that I own.
+		numCells := 1 << (3 * uint(lvl))
+		var mine []keys.CellKey
+		for c := 0; c < numCells; c++ {
+			ck := keys.CellKey{Level: uint8(lvl), Key: keys.Morton(c)}
+			if ownerOfCell(ck) == me {
+				mine = append(mine, ck)
+			}
+		}
+		// A barrier guarantees every send targeting this level has been
+		// issued (they all happen before the sender's barrier), so a
+		// non-blocking drain sees exactly this level's messages. A second
+		// barrier after the drain keeps faster processors' next-level
+		// sends out of slower processors' drains.
+		pr.Barrier()
+		children := make(map[uint64][]BranchSummary)
+		for {
+			data, _, _, ok := pr.TryRecvTags(tagBranchUp)
+			if !ok {
+				break
+			}
+			s := data.(BranchSummary)
+			ck := keys.CellKeyFromUint64(s.Key).Parent()
+			children[ck.Uint64()] = append(children[ck.Uint64()], s)
+		}
+		var upSends []BranchSummary
+		for _, ck := range mine {
+			kids := children[ck.Uint64()]
+			if len(kids) == 0 {
+				continue
+			}
+			sum := combineSummaries(ck, kids, deg)
+			pr.Compute(float64(len(kids)) * phys.NodeCombineFlops)
+			if deg >= 0 {
+				pr.Compute(float64(len(kids)) * phys.M2MFlops(deg))
+			}
+			computed[ck.Uint64()] = sum
+			if lvl > 0 {
+				upSends = append(upSends, sum)
+			}
+		}
+		pr.Barrier()
+		for _, sum := range upSends {
+			ck := keys.CellKeyFromUint64(sum.Key)
+			pr.Send(ownerOfCell(ck.Parent()), tagBranchUp, sum, sum.Words())
+		}
+	}
+	// Make everything available everywhere: my computed top cells plus my
+	// branch summaries.
+	payload := append([]BranchSummary(nil), st.summary...)
+	for _, s := range computed {
+		payload = append(payload, s)
+	}
+	words := 0
+	for _, s := range payload {
+		words += s.Words()
+	}
+	gathered := pr.AllGather(payload, words)
+	var all []BranchSummary
+	top := make(map[uint64]BranchSummary)
+	branchLevel := uint8(g)
+	for _, gth := range gathered {
+		for _, s := range gth.([]BranchSummary) {
+			if keys.CellKeyFromUint64(s.Key).Level == branchLevel {
+				all = append(all, s)
+			} else {
+				top[s.Key] = s
+			}
+		}
+	}
+	return branchExchange{all: all, top: top}
+}
+
+// combineSummaries folds child summaries into a parent cell summary.
+func combineSummaries(ck keys.CellKey, kids []BranchSummary, degree int) BranchSummary {
+	out := BranchSummary{Key: ck.Uint64(), Owner: -1}
+	for _, k := range kids {
+		newMass := out.Mass + k.Mass
+		if newMass > 0 {
+			out.COM = out.COM.Scale(out.Mass / newMass).Add(k.COM.Scale(k.Mass / newMass))
+		}
+		out.Mass = newMass
+		out.Count += k.Count
+	}
+	if degree >= 0 {
+		e := phys.NewExpansion(degree, out.COM)
+		for _, k := range kids {
+			if k.Exp == nil {
+				continue
+			}
+			ke, err := phys.ExpansionFromFloats(degree, k.Exp)
+			if err == nil {
+				e.Add(ke.TranslateTo(out.COM))
+			}
+		}
+		out.Exp = e.Floats()
+	}
+	return out
+}
+
+// buildTopPhase merges the exchanged branch summaries into the replicated
+// global tree (the paper's "tree merging").
+func (e *Engine) buildTopPhase(pr *msg.Proc, st *localState, ex branchExchange) {
+	deg := -1
+	if e.cfg.Mode == PotentialMode {
+		deg = e.cfg.Degree
+	}
+	var flops float64
+	top, err := buildTopWithPrecomputed(e.domain, ex, st.me, st.rootsMap, deg, e.cfg.LeafCap,
+		func(f float64) { flops += f })
+	if err != nil {
+		panic(err)
+	}
+	pr.Compute(flops)
+	st.top = top
+}
+
+// buildTopWithPrecomputed wraps buildTop and, for the non-replicated
+// construction, overwrites internal top cells with their precomputed
+// summaries instead of charging the redundant merge.
+func buildTopWithPrecomputed(rootBox vec.Box, ex branchExchange, me int,
+	localRoots map[uint64]*tree.Node, degree, leafCap int, charge func(float64)) (*pnode, error) {
+
+	if ex.top == nil {
+		return buildTop(rootBox, ex.all, me, localRoots, degree, leafCap, charge)
+	}
+	// Build structure without charging (the combine work happened once,
+	// at the designated owners), then overwrite with precomputed values.
+	top, err := buildTop(rootBox, ex.all, me, localRoots, degree, leafCap, func(float64) {})
+	if err != nil {
+		return nil, err
+	}
+	var apply func(n *pnode)
+	apply = func(n *pnode) {
+		if n == nil {
+			return
+		}
+		if s, ok := ex.top[n.cell.Uint64()]; ok {
+			n.mass = s.Mass
+			n.com = s.COM
+			n.count = int(s.Count)
+			if degree >= 0 && s.Exp != nil {
+				if e, err2 := phys.ExpansionFromFloats(degree, s.Exp); err2 == nil {
+					n.exp = e
+				}
+			}
+		}
+		for _, c := range n.children {
+			apply(c)
+		}
+	}
+	apply(top)
+	return top, nil
+}
+
+// loadBalance performs the scheme's end-of-step rebalancing and particle
+// redistribution; it returns the (identical on all processors) new
+// cluster ownership for SPDA and the new boundary keys for DPDA.
+func (e *Engine) loadBalance(pr *msg.Proc, st *localState) ([]int, []uint64) {
+	switch e.cfg.Scheme {
+	case SPSA:
+		// Static assignment: load balance is implicit (Table 3 reports 0).
+		return nil, nil
+	case SPDA:
+		return e.balanceSPDA(pr, st), nil
+	default:
+		return nil, e.balanceDPDA(pr, st)
+	}
+}
+
+// balanceSPDA implements Section 3.3.2: cluster loads are summed
+// globally, and clusters are re-assigned along the curve ordering in
+// contiguous runs of ~W/p load; particles move with one all-to-all.
+func (e *Engine) balanceSPDA(pr *msg.Proc, st *localState) []int {
+	p := pr.NumProcs()
+	r := e.grid.NumClusters()
+	deg := e.cfg.degreeOrMonopole()
+	loads := make([]float64, r)
+	for _, b := range st.branches {
+		x, y, z := keys.Decode3(keys.Morton(b.Key.Key))
+		c := e.grid.Index(int(x), int(y), int(z))
+		loads[c] = flopLoad(b, deg)
+	}
+	for _, q := range st.parts {
+		loads[e.grid.ClusterOf(q.Pos)] += st.extraLoad[q.ID]
+	}
+	pr.Compute(float64(len(st.branches))*20 + float64(len(st.parts))*2)
+	total := pr.SumF64(loads)
+	starts := partition.RunsByLoad(e.clusOrder, total, p)
+	newOwner := partition.OwnerFromRuns(e.clusOrder, starts, r)
+	pr.Compute(float64(r) * 4)
+
+	// Move particles to their new owners now so the next step's migrate
+	// is a no-op.
+	buckets := make([][]dist.Particle, p)
+	for _, q := range st.parts {
+		buckets[newOwner[e.grid.ClusterOf(q.Pos)]] = append(buckets[newOwner[e.grid.ClusterOf(q.Pos)]], q)
+	}
+	payloads := make([]any, p)
+	words := make([]int, p)
+	for i := range buckets {
+		payloads[i] = toWire(buckets[i])
+		words[i] = wireParticleWords * len(buckets[i])
+	}
+	recv := pr.AllToAll(payloads, words)
+	var mine []dist.Particle
+	for src := 0; src < p; src++ {
+		mine = append(mine, fromWire(recv[src].([]wireParticle))...)
+	}
+	st.parts = mine
+	return newOwner
+}
+
+// balanceDPDA implements Section 3.3.3 (costzones on message-passing
+// machines): per-particle load shares are derived from the tree's
+// interaction counters, global load boundaries i·W/p are located in the
+// concatenated Morton order, and particles move with a single all-to-all
+// personalized communication.
+func (e *Engine) balanceDPDA(pr *msg.Proc, st *localState) []uint64 {
+	p := pr.NumProcs()
+	// Per-particle shares in local Morton order: each branch subtree is
+	// walked with ancestors' own loads spread over their particles.
+	deg := e.cfg.degreeOrMonopole()
+	shares := make([]float64, 0, len(st.parts))
+	order := make([]dist.Particle, 0, len(st.parts))
+	for _, b := range st.branches {
+		collectShares(b, deg, 0, &shares, &order)
+	}
+	for i := range order {
+		shares[i] += st.extraLoad[order[i].ID]
+	}
+	pr.Compute(float64(len(shares)) * 10)
+	var myLoad float64
+	for _, s := range shares {
+		myLoad += s
+	}
+	// Global prefix over rank order (= global Morton order). Gather the
+	// measured load and the particle count together so the first step
+	// (no recorded loads yet) can fall back to count-balancing.
+	perProc := pr.AllGather([2]float64{myLoad, float64(len(order))}, 2)
+	var offset, w, cntOffset, cntTotal float64
+	for rank := 0; rank < p; rank++ {
+		pair := perProc[rank].([2]float64)
+		if rank < st.me {
+			offset += pair[0]
+			cntOffset += pair[1]
+		}
+		w += pair[0]
+		cntTotal += pair[1]
+	}
+	useCounts := w <= 0
+	if useCounts {
+		w, offset = cntTotal, cntOffset
+	}
+	if w == 0 {
+		w = 1 // empty system; zones stay as they are
+	}
+	// New zone per particle (midpoint rule), with same-key snapping.
+	buckets := make([][]dist.Particle, p)
+	acc := offset
+	prevZone := -1
+	var prevKey uint64
+	for i, q := range order {
+		share := shares[i]
+		if useCounts {
+			share = 1
+		}
+		zone := int((acc + share/2) / w * float64(p))
+		if zone >= p {
+			zone = p - 1
+		}
+		k := fullResKeyOf(q.Pos, e.domain)
+		if prevZone >= 0 && k == prevKey && zone != prevZone {
+			zone = prevZone // keep identical keys together
+		}
+		buckets[zone] = append(buckets[zone], q)
+		acc += share
+		prevZone, prevKey = zone, k
+	}
+	payloads := make([]any, p)
+	words := make([]int, p)
+	for i := range buckets {
+		payloads[i] = toWire(buckets[i])
+		words[i] = wireParticleWords * len(buckets[i])
+	}
+	recv := pr.AllToAll(payloads, words)
+	var mine []dist.Particle
+	for src := 0; src < p; src++ {
+		mine = append(mine, fromWire(recv[src].([]wireParticle))...)
+	}
+	st.parts = mine
+	// New boundary keys: first key per processor; empty zones inherit the
+	// next processor's boundary.
+	first := ^uint64(0)
+	if len(mine) > 0 {
+		first = fullResKeyOf(mine[0].Pos, e.domain)
+	}
+	gathered := pr.AllGather(first, 1)
+	bounds := make([]uint64, p)
+	for rank := 0; rank < p; rank++ {
+		bounds[rank] = gathered[rank].(uint64)
+	}
+	bounds[0] = 0
+	for i := p - 1; i > 0; i-- {
+		if bounds[i] == ^uint64(0) {
+			if i == p-1 {
+				bounds[i] = ^uint64(0) - 1
+			} else {
+				bounds[i] = bounds[i+1]
+			}
+		}
+	}
+	return bounds
+}
+
+// collectShares walks a branch subtree in Morton order producing one load
+// share per particle in flop units, spreading internal nodes' own
+// interaction counts over their subtrees (as in partition.Costzones, but
+// local). Loads are converted to flops — leaf counters record
+// particle–particle work, internal counters particle–cluster work — so
+// that balancing the shares balances modelled compute time.
+func collectShares(n *tree.Node, deg int, extraPerParticle float64, shares *[]float64, order *[]dist.Particle) {
+	if n == nil || n.Count == 0 {
+		return
+	}
+	if n.IsLeaf() {
+		leafLoad := float64(n.Load)*phys.PPFlops + extraPerParticle*float64(n.Count)
+		per := leafLoad / float64(len(n.Particles))
+		for i := range n.Particles {
+			*shares = append(*shares, per)
+			*order = append(*order, n.Particles[i])
+		}
+		return
+	}
+	nodeFlops := float64(n.Load) * (phys.InteractionFlops(deg) + phys.MACFlops)
+	childExtra := extraPerParticle + nodeFlops/float64(n.Count)
+	for _, c := range n.Children {
+		collectShares(c, deg, childExtra, shares, order)
+	}
+}
+
+// flopLoad converts a subtree's raw interaction counters into modelled
+// flops: leaves hold particle–particle counts, internal nodes
+// particle–cluster (plus MAC) counts.
+func flopLoad(n *tree.Node, deg int) float64 {
+	if n == nil {
+		return 0
+	}
+	var f float64
+	if n.IsLeaf() {
+		f = float64(n.Load) * phys.PPFlops
+	} else {
+		f = float64(n.Load) * (phys.InteractionFlops(deg) + phys.MACFlops)
+	}
+	for _, c := range n.Children {
+		f += flopLoad(c, deg)
+	}
+	return f
+}

@@ -1,0 +1,432 @@
+package parbh
+
+import (
+	"repro/internal/msg"
+	"repro/internal/phys"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// Function-shipping force phase (Section 3.2). Each processor traverses
+// the replicated global tree for every one of its particles. Local
+// subtrees are descended directly; interactions accepted by the MAC at
+// replicated top or remote-branch nodes are computed from the broadcast
+// summaries; a rejected remote branch node causes the particle's
+// coordinates to be placed in a bin for the branch's owner. Bins are
+// flushed at BinSize particles, with at most one outstanding bin per
+// source–destination pair: a processor that wants to send while a bin is
+// outstanding must first serve incoming work, exactly as the paper
+// prescribes. Shipped-back contributions are accumulated in fixed slot
+// order so results are deterministic regardless of message timing.
+
+// reqEntry asks the owner of branch `Key` for the subtree contribution at
+// Pos; Slot identifies where the reply lands at the requester.
+type reqEntry struct {
+	Key  uint64
+	Pos  vec.V3
+	Self int32
+	Slot int32
+}
+
+// reqEntryWords is the modelled wire size of one entry: three coordinate
+// words (the paper's "three floating point numbers") plus one word of
+// key/slot overhead.
+const reqEntryWords = 4
+
+// reqBin is a batch of shipped particles for one destination.
+type reqBin struct {
+	Entries []reqEntry
+}
+
+// repBin carries the computed contributions back; Slots mirrors the
+// request order. Exactly one of F or P is set depending on the mode.
+type repBin struct {
+	Slots []int32
+	F     []vec.V3
+	P     []float64
+}
+
+// forcePhase runs the force-computation phase and writes per-particle
+// results (indexed by particle ID) into res.
+func (e *Engine) forcePhase(pr *msg.Proc, st *localState, res *Result) {
+	if e.cfg.Shipping == DataShipping {
+		e.dataShipPhase(pr, st, res)
+		return
+	}
+	r := &shipRun{e: e, pr: pr, st: st}
+	r.init()
+	t0 := pr.Stats().ComputeTime
+	st.extraLoad = make(map[int]float64, len(st.parts))
+
+	// Accumulators for local contributions, by local particle index.
+	n := len(st.parts)
+	localF := make([]vec.V3, n)
+	localP := make([]float64, n)
+
+	for i := range st.parts {
+		q := &st.parts[i]
+		r.curID = q.ID
+		if e.cfg.Mode == ForceMode {
+			localF[i] = r.traverseForce(st.top, q.Pos, q.ID, i)
+		} else {
+			localP[i] = r.traversePot(st.top, q.Pos, q.ID, i)
+		}
+		// Poll for incoming work between particles ("processors must
+		// periodically process remote work requests").
+		r.serviceAll(false)
+	}
+	r.flush()
+	r.terminate()
+
+	// Deterministic reduction: remote contributions are added in slot
+	// order, which is the traversal order and independent of message
+	// timing.
+	if e.cfg.Mode == ForceMode {
+		for s, pi := range r.slotPart {
+			localF[pi] = localF[pi].Add(r.slotF[s])
+		}
+		for i := range st.parts {
+			res.Accels[st.parts[i].ID] = localF[i]
+		}
+	} else {
+		for s, pi := range r.slotPart {
+			localP[pi] += r.slotP[s]
+		}
+		for i := range st.parts {
+			res.Potentials[st.parts[i].ID] = localP[i]
+		}
+	}
+	st.forceT = pr.Stats().ComputeTime - t0
+}
+
+// shipRun is the per-processor state of one function-shipping phase.
+type shipRun struct {
+	e  *Engine
+	pr *msg.Proc
+	st *localState
+
+	bins        []reqBin // one per destination
+	outstanding []bool   // one unacked bin per destination allowed
+	pendingReps int      // bins sent, replies not yet received
+
+	slotPart []int    // slot -> local particle index
+	slotF    []vec.V3 // force-mode reply values
+	slotP    []float64
+
+	// curID is the particle whose traversal is running; summary-level
+	// interactions are attributed to it for load balancing.
+	curID int
+
+	// Tree-based termination detection.
+	doneKids int
+	sentUp   bool
+	gotDown  bool
+	flushed  bool
+}
+
+func (r *shipRun) init() {
+	p := r.pr.NumProcs()
+	r.bins = make([]reqBin, p)
+	r.outstanding = make([]bool, p)
+}
+
+// ship places a particle in the bin of every owner of a remote branch.
+func (r *shipRun) ship(n *pnode, pos vec.V3, self int, localIdx int) {
+	for _, o := range n.owners {
+		slot := len(r.slotPart)
+		r.slotPart = append(r.slotPart, localIdx)
+		if r.e.cfg.Mode == ForceMode {
+			r.slotF = append(r.slotF, vec.V3{})
+		} else {
+			r.slotP = append(r.slotP, 0)
+		}
+		r.bins[o].Entries = append(r.bins[o].Entries, reqEntry{
+			Key: n.cell.Uint64(), Pos: pos, Self: int32(self), Slot: int32(slot),
+		})
+		if len(r.bins[o].Entries) >= r.e.cfg.BinSize {
+			r.sendBin(o)
+		}
+	}
+}
+
+// sendBin flushes the bin for dst, first serving remote work while a
+// previous bin to dst is still outstanding (the paper's flow control).
+func (r *shipRun) sendBin(dst int) {
+	if len(r.bins[dst].Entries) == 0 {
+		return
+	}
+	for r.outstanding[dst] {
+		r.serviceOne(true)
+	}
+	bin := r.bins[dst]
+	r.bins[dst] = reqBin{}
+	r.pr.Send(dst, tagRequest, bin, reqEntryWords*len(bin.Entries)+1)
+	r.outstanding[dst] = true
+	r.pendingReps++
+}
+
+// flush sends every non-empty partial bin.
+func (r *shipRun) flush() {
+	for dst := range r.bins {
+		r.sendBin(dst)
+	}
+	r.flushed = true
+}
+
+// serviceAll drains currently available work without blocking.
+func (r *shipRun) serviceAll(block bool) {
+	for r.serviceOne(block) {
+		block = false
+	}
+}
+
+// serviceOne handles one incoming message; returns false if none was
+// available (non-blocking mode).
+func (r *shipRun) serviceOne(block bool) bool {
+	var payload any
+	var from, tag int
+	if block {
+		payload, from, tag = r.pr.RecvTags(tagRequest, tagReply, tagDoneUp, tagDoneDown)
+	} else {
+		var ok bool
+		payload, from, tag, ok = r.pr.TryRecvTags(tagRequest, tagReply, tagDoneUp, tagDoneDown)
+		if !ok {
+			return false
+		}
+	}
+	switch tag {
+	case tagRequest:
+		r.serve(payload.(reqBin), from)
+	case tagReply:
+		rep := payload.(repBin)
+		for i, s := range rep.Slots {
+			if r.e.cfg.Mode == ForceMode {
+				r.slotF[s] = rep.F[i]
+			} else {
+				r.slotP[s] = rep.P[i]
+			}
+		}
+		r.outstanding[from] = false
+		r.pendingReps--
+	case tagDoneUp:
+		r.doneKids++
+	case tagDoneDown:
+		r.gotDown = true
+		r.forwardDown()
+	}
+	return true
+}
+
+// serve computes the requested subtree contributions and ships the
+// results back: the essence of function shipping — the computation runs
+// where the data is.
+func (r *shipRun) serve(bin reqBin, from int) {
+	cfg := r.e.cfg
+	rep := repBin{Slots: make([]int32, len(bin.Entries))}
+	if cfg.Mode == ForceMode {
+		rep.F = make([]vec.V3, len(bin.Entries))
+	} else {
+		rep.P = make([]float64, len(bin.Entries))
+	}
+	for i, en := range bin.Entries {
+		rep.Slots[i] = en.Slot
+		node := r.st.lookup.find(en.Key)
+		r.pr.Compute(r.st.lookup.cost())
+		if node == nil {
+			continue // empty branch (race with zero-count summaries)
+		}
+		var s tree.Stats
+		if cfg.Mode == ForceMode {
+			rep.F[i] = serveForce(node, en.Pos, int(en.Self), cfg.Alpha, cfg.Eps, &s)
+		} else {
+			rep.P[i] = servePot(node, en.Pos, int(en.Self), cfg.Alpha, &s)
+		}
+		r.st.stats.Add(s)
+		r.pr.Compute(s.Flops(cfg.degreeOrMonopole()))
+	}
+	words := len(bin.Entries) + 1
+	if cfg.Mode == ForceMode {
+		words = 3*len(bin.Entries) + 1
+	}
+	r.pr.Send(from, tagReply, rep, words)
+}
+
+// serveForce computes the contribution of the subtree rooted at branch to
+// a shipped particle. The requester already rejected the branch cell
+// under the MAC, so evaluation starts at its children (or at the
+// particles for a leaf branch), mirroring exactly what a serial traversal
+// does after rejecting the node.
+func serveForce(branch *tree.Node, pos vec.V3, self int, alpha, eps float64, stats *tree.Stats) vec.V3 {
+	if branch.IsLeaf() {
+		return tree.AccelFrom(branch, pos, self, alpha, eps, stats)
+	}
+	var a vec.V3
+	for _, c := range branch.Children {
+		if c != nil {
+			a = a.Add(tree.AccelFrom(c, pos, self, alpha, eps, stats))
+		}
+	}
+	branch.Load++
+	return a
+}
+
+// servePot is serveForce for potential mode.
+func servePot(branch *tree.Node, pos vec.V3, self int, alpha float64, stats *tree.Stats) float64 {
+	if branch.IsLeaf() {
+		return tree.PotentialFrom(branch, pos, self, alpha, stats)
+	}
+	var phi float64
+	for _, c := range branch.Children {
+		if c != nil {
+			phi += tree.PotentialFrom(c, pos, self, alpha, stats)
+		}
+	}
+	branch.Load++
+	return phi
+}
+
+// traverseForce walks the replicated tree for one particle, accumulating
+// local contributions and binning remote ones.
+func (r *shipRun) traverseForce(n *pnode, pos vec.V3, self, localIdx int) vec.V3 {
+	if n == nil || n.count == 0 {
+		return vec.V3{}
+	}
+	if n.local != nil {
+		var s tree.Stats
+		a := tree.AccelFrom(n.local, pos, self, r.e.cfg.Alpha, r.e.cfg.Eps, &s)
+		r.st.stats.Add(s)
+		r.pr.Compute(s.Flops(0))
+		return a
+	}
+	if n.isBranch {
+		// Remote branch: leaf cells always ship (a serial traversal would
+		// do particle–particle sums there); internal cells MAC-test the
+		// replicated summary first.
+		if n.leafCell {
+			r.ship(n, pos, self, localIdx)
+			return vec.V3{}
+		}
+		if r.chargeMAC() && acceptsSummary(n, pos, r.e.cfg.Alpha) {
+			r.chargePC()
+			return phys.Accel(pos, n.com, n.mass, r.e.cfg.Eps)
+		}
+		r.ship(n, pos, self, localIdx)
+		return vec.V3{}
+	}
+	// Replicated top node.
+	if r.chargeMAC() && acceptsSummary(n, pos, r.e.cfg.Alpha) {
+		r.chargePC()
+		return phys.Accel(pos, n.com, n.mass, r.e.cfg.Eps)
+	}
+	var a vec.V3
+	for _, c := range n.children {
+		if c != nil {
+			a = a.Add(r.traverseForce(c, pos, self, localIdx))
+		}
+	}
+	return a
+}
+
+// traversePot is traverseForce for potential mode.
+func (r *shipRun) traversePot(n *pnode, pos vec.V3, self, localIdx int) float64 {
+	if n == nil || n.count == 0 {
+		return 0
+	}
+	if n.local != nil {
+		var s tree.Stats
+		phi := tree.PotentialFrom(n.local, pos, self, r.e.cfg.Alpha, &s)
+		r.st.stats.Add(s)
+		r.pr.Compute(s.Flops(r.e.cfg.Degree))
+		return phi
+	}
+	if n.isBranch {
+		if n.leafCell {
+			r.ship(n, pos, self, localIdx)
+			return 0
+		}
+		if r.chargeMAC() && acceptsSummary(n, pos, r.e.cfg.Alpha) {
+			r.chargePC()
+			return n.exp.EvalPotential(pos)
+		}
+		r.ship(n, pos, self, localIdx)
+		return 0
+	}
+	if r.chargeMAC() && acceptsSummary(n, pos, r.e.cfg.Alpha) {
+		r.chargePC()
+		return n.exp.EvalPotential(pos)
+	}
+	var phi float64
+	for _, c := range n.children {
+		if c != nil {
+			phi += r.traversePot(c, pos, self, localIdx)
+		}
+	}
+	return phi
+}
+
+// chargeMAC records one MAC test; it always returns true so it can gate
+// the acceptance check in a short-circuit expression.
+func (r *shipRun) chargeMAC() bool {
+	r.st.stats.MACTests++
+	r.pr.Compute(phys.MACFlops)
+	return true
+}
+
+// chargePC records one particle–cluster interaction against a replicated
+// summary; the load is attributed to the traversing particle because no
+// local tree node represents the summary.
+func (r *shipRun) chargePC() {
+	r.st.stats.PC++
+	flops := phys.InteractionFlops(r.e.cfg.degreeOrMonopole())
+	r.st.extraLoad[r.curID] += flops + phys.MACFlops
+	r.pr.Compute(flops)
+}
+
+// acceptsSummary applies the Barnes–Hut MAC to a replicated node summary.
+func acceptsSummary(n *pnode, pos vec.V3, alpha float64) bool {
+	d := pos.Dist(n.com)
+	if d == 0 {
+		return false
+	}
+	return n.box.LongestSide()/d < alpha
+}
+
+// terminate runs the tree-based distributed termination protocol: a
+// processor reports "done" up a binary tree over ranks once its own bins
+// are flushed and answered and its subtree is done; the root then floods
+// "done" down. Processors keep serving remote work while waiting, so no
+// request ever starves.
+func (r *shipRun) terminate() {
+	me := r.pr.ID()
+	p := r.pr.NumProcs()
+	kids := 0
+	if 2*me+1 < p {
+		kids++
+	}
+	if 2*me+2 < p {
+		kids++
+	}
+	for !r.gotDown {
+		if !r.sentUp && r.flushed && r.pendingReps == 0 && r.doneKids == kids {
+			if me == 0 {
+				r.gotDown = true
+				r.forwardDown()
+				break
+			}
+			r.pr.Send((me-1)/2, tagDoneUp, struct{}{}, 1)
+			r.sentUp = true
+		}
+		r.serviceOne(true)
+	}
+}
+
+// forwardDown propagates the termination signal to tree children.
+func (r *shipRun) forwardDown() {
+	me := r.pr.ID()
+	p := r.pr.NumProcs()
+	for _, c := range []int{2*me + 1, 2*me + 2} {
+		if c < p {
+			r.pr.Send(c, tagDoneDown, struct{}{}, 1)
+		}
+	}
+}

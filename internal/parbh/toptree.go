@@ -1,0 +1,248 @@
+package parbh
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/keys"
+	"repro/internal/phys"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// BranchSummary is the record describing one branch node that is
+// exchanged in the tree-construction phase: enough to MAC-test the cell
+// and compute accepted interactions (mass + centre of mass for force
+// mode; the serialized multipole expansion for potential mode), plus the
+// owner to ship rejected interactions to.
+type BranchSummary struct {
+	Key   uint64 // packed keys.CellKey
+	Owner int32
+	Count int32
+	Mass  float64
+	COM   vec.V3
+	Exp   []float64 // serialized expansion; nil in force mode
+}
+
+// Words returns the modelled wire size in 8-byte words.
+func (b BranchSummary) Words() int { return 7 + len(b.Exp) }
+
+// summaryOf builds the summary of a local subtree root.
+func summaryOf(n *tree.Node, owner int, withExp bool) BranchSummary {
+	s := BranchSummary{
+		Key:   n.Key.Uint64(),
+		Owner: int32(owner),
+		Count: int32(n.Count),
+		Mass:  n.Mass,
+		COM:   n.COM,
+	}
+	if withExp && n.Exp != nil {
+		s.Exp = n.Exp.Floats()
+	}
+	return s
+}
+
+// pnode is a node of the processor-replicated global tree: the top tree
+// plus one node per branch cell. A branch cell either points at the local
+// subtree (owned here) or records its remote owners.
+type pnode struct {
+	cell  keys.CellKey
+	box   vec.Box
+	mass  float64
+	com   vec.V3
+	count int
+	exp   *phys.Expansion
+
+	children [8]*pnode
+	isBranch bool
+	local    *tree.Node // non-nil when this branch is owned locally
+	owners   []int      // remote owners of this branch (usually one)
+	leafCell bool       // branch cell with Count ≤ leafCap: a global-tree leaf
+}
+
+// hasChildren reports whether traversal can expand this node locally.
+func (n *pnode) hasChildren() bool {
+	for _, c := range n.children {
+		if c != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// buildTop assembles the replicated global tree for one processor from
+// the full set of branch summaries. localRoots maps packed cell keys of
+// locally-owned branch cells to their subtree roots. charge is called
+// with the modelled flop cost of the merge (the redundant computation of
+// the broadcast-based construction). degree < 0 disables expansions.
+func buildTop(rootBox vec.Box, summaries []BranchSummary, me int,
+	localRoots map[uint64]*tree.Node, degree, leafCap int, charge func(float64)) (*pnode, error) {
+
+	root := &pnode{cell: keys.CellKey{}, box: rootBox}
+	// Insert branch cells, creating intermediate top nodes.
+	for _, s := range summaries {
+		if s.Count == 0 {
+			continue
+		}
+		ck := keys.CellKeyFromUint64(s.Key)
+		n := root
+		for lvl := 0; lvl < int(ck.Level); lvl++ {
+			oct := int(ck.Key>>(3*uint(int(ck.Level)-lvl-1))) & 7
+			if n.isBranch {
+				return nil, fmt.Errorf("parbh: branch cell %v is an ancestor of %v", n.cell, ck)
+			}
+			if n.children[oct] == nil {
+				n.children[oct] = &pnode{cell: n.cell.Child(oct), box: n.box.Octant(oct)}
+			}
+			n = n.children[oct]
+		}
+		if n.hasChildren() {
+			return nil, fmt.Errorf("parbh: branch cell %v is an ancestor of another branch", ck)
+		}
+		n.isBranch = true
+		n.count += int(s.Count)
+		// Merge mass and centre of mass (multiple owners per cell are
+		// possible only in degenerate identical-key splits; normally this
+		// executes once per cell).
+		newMass := n.mass + s.Mass
+		if newMass > 0 {
+			n.com = n.com.Scale(n.mass / newMass).Add(s.COM.Scale(s.Mass / newMass))
+		}
+		n.mass = newMass
+		if int(s.Owner) == me {
+			ln, ok := localRoots[s.Key]
+			if !ok {
+				return nil, fmt.Errorf("parbh: missing local subtree for branch %v", ck)
+			}
+			n.local = ln
+		} else {
+			n.owners = append(n.owners, int(s.Owner))
+		}
+		if degree >= 0 && s.Exp != nil {
+			e, err := phys.ExpansionFromFloats(degree, s.Exp)
+			if err != nil {
+				return nil, err
+			}
+			if n.exp == nil {
+				n.exp = e
+			} else {
+				// Combine at the merged centre of mass.
+				at := n.com
+				sum := n.exp.TranslateTo(at)
+				sum.Add(e.TranslateTo(at))
+				n.exp = sum
+				charge(2 * phys.M2MFlops(degree))
+			}
+		}
+	}
+	// Upward pass: summarize internal top nodes from their children. This
+	// is the redundant computation every processor performs under the
+	// broadcast-based construction.
+	var up func(n *pnode) error
+	up = func(n *pnode) error {
+		if n.isBranch {
+			n.leafCell = n.count <= leafCap
+			return nil
+		}
+		for _, c := range n.children {
+			if c == nil {
+				continue
+			}
+			if err := up(c); err != nil {
+				return err
+			}
+			newMass := n.mass + c.mass
+			if newMass > 0 {
+				n.com = n.com.Scale(n.mass / newMass).Add(c.com.Scale(c.mass / newMass))
+			}
+			n.mass = newMass
+			n.count += c.count
+			charge(phys.NodeCombineFlops)
+		}
+		if degree >= 0 {
+			e := phys.NewExpansion(degree, n.com)
+			for _, c := range n.children {
+				if c == nil || c.count == 0 || c.exp == nil {
+					continue
+				}
+				e.Add(c.exp.TranslateTo(n.com))
+				charge(phys.M2MFlops(degree))
+			}
+			n.exp = e
+		}
+		return nil
+	}
+	if err := up(root); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// branchLookup resolves a packed branch key to the local subtree root —
+// the structure a processor uses to locate the target of an incoming
+// function-shipping request (Section 4.2.3). Two implementations exist:
+// a hash table and a sorted table with binary search; the paper measured
+// both and found the difference masked by computation.
+type branchLookup interface {
+	find(key uint64) *tree.Node
+	// cost returns the modelled flop cost of one lookup.
+	cost() float64
+}
+
+// hashLookup is the hash-table variant.
+type hashLookup map[uint64]*tree.Node
+
+func (h hashLookup) find(key uint64) *tree.Node { return h[key] }
+func (h hashLookup) cost() float64              { return 6 }
+
+// sortedLookup is the sorted-key-table variant.
+type sortedLookup struct {
+	keys  []uint64
+	nodes []*tree.Node
+}
+
+func newSortedLookup(m map[uint64]*tree.Node) *sortedLookup {
+	s := &sortedLookup{}
+	for k := range m {
+		s.keys = append(s.keys, k)
+	}
+	sort.Slice(s.keys, func(i, j int) bool { return s.keys[i] < s.keys[j] })
+	s.nodes = make([]*tree.Node, len(s.keys))
+	for i, k := range s.keys {
+		s.nodes[i] = m[k]
+	}
+	return s
+}
+
+func (s *sortedLookup) find(key uint64) *tree.Node {
+	i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= key })
+	if i < len(s.keys) && s.keys[i] == key {
+		return s.nodes[i]
+	}
+	return nil
+}
+
+func (s *sortedLookup) cost() float64 {
+	n := len(s.keys)
+	c := 2.0
+	for n > 1 {
+		n >>= 1
+		c += 2
+	}
+	return c
+}
+
+// fullResKeyOf returns the maximal-depth Morton key of a position within
+// the root box — the ordering key for DPDA zone boundaries.
+func fullResKeyOf(pos vec.V3, rootBox vec.Box) uint64 {
+	return uint64(keys.PointKey3(pos, rootBox, keys.MaxBits3D))
+}
+
+// cellKeyRange returns the half-open interval of full-resolution Morton
+// keys covered by a cell.
+func cellKeyRange(c keys.CellKey) (lo, hi uint64) {
+	shift := 3 * uint(keys.MaxBits3D-int(c.Level))
+	lo = uint64(c.Key) << shift
+	hi = lo + (1 << shift)
+	return
+}

@@ -1,0 +1,139 @@
+// Package phys provides the physics kernels of the n-body code: softened
+// pairwise gravity, the monopole (centre-of-mass) approximation used for
+// force computations, degree-k multipole expansions of the gravitational
+// potential (the paper's Legendre-series potentials), error norms, and
+// the floating-point cost model the paper uses to compute efficiencies.
+package phys
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// G is the gravitational constant. All experiments use natural units.
+const G = 1.0
+
+// Accel returns the gravitational acceleration felt at pos due to a point
+// source of mass m at src, with Plummer softening eps (eps = 0 gives the
+// bare Newtonian kernel). The acceleration of a particle at its own
+// position due to itself is zero.
+func Accel(pos, src vec.V3, m, eps float64) vec.V3 {
+	d := src.Sub(pos)
+	r2 := d.Norm2() + eps*eps
+	if r2 == 0 {
+		return vec.V3{}
+	}
+	inv := 1 / math.Sqrt(r2)
+	return d.Scale(G * m * inv * inv * inv)
+}
+
+// Potential returns the gravitational potential at pos due to a point
+// source of mass m at src with Plummer softening eps. The convention is
+// the physical one: potentials are negative, Φ = -G m / sqrt(r² + ε²).
+// A source evaluated at its own position with eps = 0 contributes zero
+// (the self-interaction is excluded by callers; this guard avoids Inf).
+func Potential(pos, src vec.V3, m, eps float64) float64 {
+	r2 := pos.Dist2(src) + eps*eps
+	if r2 == 0 {
+		return 0
+	}
+	return -G * m / math.Sqrt(r2)
+}
+
+// FractionalError returns ‖x − approx‖₂ / ‖x‖₂, the paper's fractional
+// error measure for potential vectors (Section 5.2.2). It returns 0 when
+// both vectors are zero.
+func FractionalError(exact, approx []float64) float64 {
+	if len(exact) != len(approx) {
+		panic("phys: FractionalError length mismatch")
+	}
+	var num, den float64
+	for i := range exact {
+		d := exact[i] - approx[i]
+		num += d * d
+		den += exact[i] * exact[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}
+
+// FractionalErrorV3 is FractionalError for force (vector) fields.
+func FractionalErrorV3(exact, approx []vec.V3) float64 {
+	if len(exact) != len(approx) {
+		panic("phys: FractionalErrorV3 length mismatch")
+	}
+	var num, den float64
+	for i := range exact {
+		num += exact[i].Sub(approx[i]).Norm2()
+		den += exact[i].Norm2()
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}
+
+// Cost model (Section 5.2.1): "each particle–cluster interaction requires
+// 13 + k²·16 floating point instructions, where k is the degree of
+// polynomial used. The MAC routine requires 14 floating point
+// instructions." These counts drive the simulated processor clocks and
+// the sequential-time projections used to compute efficiency, exactly as
+// the paper projects single-processor times for problems too large to run
+// serially.
+const (
+	// MACFlops is the cost of one multipole acceptance test.
+	MACFlops = 14
+	// PPFlops is the cost of one softened particle–particle interaction.
+	PPFlops = 22
+)
+
+// InteractionFlops returns the cost of one particle–cluster interaction
+// at multipole degree k (k = 0 is the monopole used for force-only runs).
+func InteractionFlops(degree int) float64 { return 13 + 16*float64(degree)*float64(degree) }
+
+// TreeInsertFlops is the modelled cost of moving one particle down one
+// tree level during construction (octant classification plus bookkeeping).
+const TreeInsertFlops = 15
+
+// NodeCombineFlops is the modelled cost of folding one child's mass and
+// centre of mass into a parent during the upward pass or top-tree merge.
+const NodeCombineFlops = 10
+
+func numCoeffs(degree int) float64 { return float64((degree + 1) * (degree + 2) / 2) }
+
+// P2MFlops is the modelled cost of accumulating one particle into a
+// degree-k expansion (one regular-harmonics recurrence plus the update).
+func P2MFlops(degree int) float64 { return 10 * numCoeffs(degree) }
+
+// M2MFlops is the modelled cost of translating a degree-k expansion to a
+// new centre (a double sum over coefficients).
+func M2MFlops(degree int) float64 { c := numCoeffs(degree); return 4 * c * c }
+
+// M2LFlops is the modelled cost of converting a degree-k multipole into
+// a local expansion (the FMM's cell–cell kernel).
+func M2LFlops(degree int) float64 { c := numCoeffs(degree); return 6 * c * c }
+
+// L2LFlops is the modelled cost of translating a degree-k local
+// expansion.
+func L2LFlops(degree int) float64 { c := numCoeffs(degree); return 4 * c * c }
+
+// L2PFlops is the modelled cost of evaluating a local expansion at one
+// point.
+func L2PFlops(degree int) float64 { return 8 * numCoeffs(degree) }
+
+// SeriesFloats returns the number of float64 words in a serialized
+// degree-k multipole series: (k+1)(k+2)/2 complex coefficients (the m ≥ 0
+// half; m < 0 follows from Hermitian symmetry) plus the 3-float origin.
+// This is the unit of data-shipping communication volume (Section 4.2.1):
+// it grows as Θ(k²) while function-shipping payloads stay at 3 floats per
+// particle.
+func SeriesFloats(degree int) int { return (degree+1)*(degree+2) + 3 }

@@ -1,0 +1,173 @@
+package phys
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/vec"
+)
+
+// Local is a degree-k local (Taylor) expansion of the potential about a
+// centre, valid inside the cluster of evaluation points: the counterpart
+// of Expansion used by the fast multipole method. The paper's parallel
+// formulations target Barnes–Hut but note that "parallel formulations of
+// FMM and the Barnes–Hut method are similar"; package fmm builds the FMM
+// on these operators.
+//
+// With the scaled solid harmonics of Expansion, the potential inside the
+// cluster is Φ(x) = -G Σ_{l,m} conj(L_l^m) · R_l^m(x - centre).
+type Local struct {
+	Degree int
+	Center vec.V3
+	// C holds coefficients for m ≥ 0 (Hermitian symmetry covers m < 0),
+	// indexed like Expansion.C.
+	C []complex128
+}
+
+// NewLocal returns an empty local expansion of the given degree.
+func NewLocal(degree int, center vec.V3) *Local {
+	if degree < 0 {
+		panic(fmt.Sprintf("phys: negative local degree %d", degree))
+	}
+	return &Local{Degree: degree, Center: center, C: make([]complex128, coeffLen(degree))}
+}
+
+// at returns coefficient (l, m) for any -l ≤ m ≤ l.
+func (lo *Local) at(l, m int) complex128 {
+	if m >= 0 {
+		return lo.C[idx(l, m)]
+	}
+	c := cmplx.Conj(lo.C[idx(l, -m)])
+	if (-m)&1 == 1 {
+		return -c
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (lo *Local) Clone() *Local {
+	c := &Local{Degree: lo.Degree, Center: lo.Center, C: make([]complex128, len(lo.C))}
+	copy(c.C, lo.C)
+	return c
+}
+
+// Add accumulates another local expansion with identical centre/degree.
+func (lo *Local) Add(o *Local) {
+	if o.Degree != lo.Degree || o.Center != lo.Center {
+		panic("phys: Local.Add requires identical centre and degree")
+	}
+	for i := range lo.C {
+		lo.C[i] += o.C[i]
+	}
+}
+
+// AddMultipole accumulates a far multipole expansion into the local
+// expansion (the M2L operator):
+//
+//	L_l^m += (-1)^l Σ_{j,k} conj(M_j^k) S_{l+j}^{m+k}(t)
+//
+// where t = localCentre - multipoleCentre. (The parity factor comes from
+// expanding R about the target: R_j^k(-b) = (-1)^j R_j^k(b).) The source
+// and evaluation clusters must be well separated (|t| larger than the
+// sum of their radii) for the truncated operator to converge.
+func (lo *Local) AddMultipole(m *Expansion) {
+	t := lo.Center.Sub(m.Center)
+	p := lo.Degree
+	q := m.Degree
+	// Irregular harmonics are needed up to degree p+q.
+	irr := make([]complex128, coeffLen(p+q))
+	irregular(t, p+q, irr)
+	irrAt := func(l, mm int) complex128 {
+		if mm >= 0 {
+			return irr[idx(l, mm)]
+		}
+		c := cmplx.Conj(irr[idx(l, -mm)])
+		if (-mm)&1 == 1 {
+			return -c
+		}
+		return c
+	}
+	for l := 0; l <= p; l++ {
+		sign := complex(1, 0)
+		if l&1 == 1 {
+			sign = -1
+		}
+		for mm := 0; mm <= l; mm++ {
+			var sum complex128
+			for j := 0; j <= q; j++ {
+				for k := -j; k <= j; k++ {
+					sum += cmplx.Conj(m.at(j, k)) * irrAt(l+j, mm+k)
+				}
+			}
+			lo.C[idx(l, mm)] += sign * sum
+		}
+	}
+}
+
+// TranslateTo returns the local expansion re-centred at newCenter (the
+// L2L operator), exact for the stored degree:
+//
+//	L'_l^m = Σ_{j=0}^{p-l} Σ_k conj(R_j^k(u)) · L_{l+j}^{m+k},  u = new - old.
+func (lo *Local) TranslateTo(newCenter vec.V3) *Local {
+	u := newCenter.Sub(lo.Center)
+	out := NewLocal(lo.Degree, newCenter)
+	if u == (vec.V3{}) {
+		copy(out.C, lo.C)
+		return out
+	}
+	p := lo.Degree
+	reg := make([]complex128, coeffLen(p))
+	regular(u, p, reg)
+	regAt := func(l, m int) complex128 {
+		if m >= 0 {
+			return reg[idx(l, m)]
+		}
+		c := cmplx.Conj(reg[idx(l, -m)])
+		if (-m)&1 == 1 {
+			return -c
+		}
+		return c
+	}
+	for l := 0; l <= p; l++ {
+		for m := 0; m <= l; m++ {
+			var sum complex128
+			for j := 0; j+l <= p; j++ {
+				for k := -j; k <= j; k++ {
+					mk := m + k
+					if mk < -(l+j) || mk > l+j {
+						continue
+					}
+					sum += cmplx.Conj(regAt(j, k)) * lo.at(l+j, mk)
+				}
+			}
+			out.C[idx(l, m)] = sum
+		}
+	}
+	return out
+}
+
+// EvalPotential evaluates the local expansion at pos (the L2P operator):
+// Φ(pos) = -G Σ_{l,m} conj(L_l^m) R_l^m(pos - centre).
+func (lo *Local) EvalPotential(pos vec.V3) float64 {
+	d := pos.Sub(lo.Center)
+	reg := make([]complex128, len(lo.C))
+	regular(d, lo.Degree, reg)
+	var phi float64
+	for l := 0; l <= lo.Degree; l++ {
+		phi += real(cmplx.Conj(lo.C[idx(l, 0)]) * reg[idx(l, 0)])
+		for m := 1; m <= l; m++ {
+			phi += 2 * real(cmplx.Conj(lo.C[idx(l, m)])*reg[idx(l, m)])
+		}
+	}
+	return -G * phi
+}
+
+// AddSource accumulates a distant point source directly into the local
+// expansion (the P2L operator): L_l^m += q · S_l^m(centre - src)… with
+// the storage convention used here, L_l^m += q · S_l^m(t) where
+// t = centre - src, matching AddMultipole with a degree-0 multipole.
+func (lo *Local) AddSource(mass float64, src vec.V3) {
+	m := NewExpansion(0, src)
+	m.AddParticle(mass, src)
+	lo.AddMultipole(m)
+}

@@ -1,0 +1,197 @@
+package phys
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// wellSeparatedSetup builds a source cluster near srcCenter and returns
+// (masses, positions, multipole about srcCenter).
+func wellSeparatedSetup(rng *rand.Rand, n int, radius float64, srcCenter vec.V3, degree int) ([]float64, []vec.V3, *Expansion) {
+	ms := make([]float64, n)
+	ps := make([]vec.V3, n)
+	for i := range ms {
+		ms[i] = rng.Float64() + 0.1
+		ps[i] = srcCenter.Add(vec.V3{
+			X: (rng.Float64()*2 - 1) * radius,
+			Y: (rng.Float64()*2 - 1) * radius,
+			Z: (rng.Float64()*2 - 1) * radius,
+		})
+	}
+	m := NewExpansion(degree, srcCenter)
+	m.AddParticles(ms, ps)
+	return ms, ps, m
+}
+
+func TestM2LMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	srcC := vec.V3{X: -3}
+	locC := vec.V3{X: 3}
+	ms, ps, m := wellSeparatedSetup(rng, 40, 0.5, srcC, 10)
+	lo := NewLocal(10, locC)
+	lo.AddMultipole(m)
+	// Evaluate near the local centre.
+	for trial := 0; trial < 20; trial++ {
+		at := locC.Add(vec.V3{
+			X: (rng.Float64()*2 - 1) * 0.5,
+			Y: (rng.Float64()*2 - 1) * 0.5,
+			Z: (rng.Float64()*2 - 1) * 0.5,
+		})
+		want := directPotential(at, ms, ps)
+		got := lo.EvalPotential(at)
+		if math.Abs(got-want) > 1e-7*math.Abs(want) {
+			t.Fatalf("trial %d: local %v, direct %v", trial, got, want)
+		}
+	}
+}
+
+func TestM2LConvergesWithDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	srcC := vec.V3{X: -2.5}
+	locC := vec.V3{X: 2.5}
+	ms, ps, _ := wellSeparatedSetup(rng, 30, 0.6, srcC, 12)
+	at := locC.Add(vec.V3{X: 0.3, Y: -0.2, Z: 0.4})
+	want := directPotential(at, ms, ps)
+	prev := math.Inf(1)
+	for _, deg := range []int{1, 2, 4, 6, 8} {
+		m := NewExpansion(deg, srcC)
+		m.AddParticles(ms, ps)
+		lo := NewLocal(deg, locC)
+		lo.AddMultipole(m)
+		err := math.Abs(lo.EvalPotential(at)-want) / math.Abs(want)
+		if err > prev*1.5 {
+			t.Fatalf("degree %d error %v did not improve on %v", deg, err, prev)
+		}
+		prev = err
+	}
+	if prev > 1e-5 {
+		t.Fatalf("degree-8 error %v", prev)
+	}
+}
+
+func TestL2LExactTranslation(t *testing.T) {
+	// Translating a local expansion must not change its predictions
+	// (L2L is exact for the stored degree).
+	rng := rand.New(rand.NewSource(3))
+	srcC := vec.V3{X: -4}
+	locC := vec.V3{X: 4}
+	_, _, m := wellSeparatedSetup(rng, 25, 0.5, srcC, 8)
+	lo := NewLocal(8, locC)
+	lo.AddMultipole(m)
+	// Shift to a nearby centre; evaluate at the same physical point.
+	newC := locC.Add(vec.V3{X: 0.3, Y: 0.2, Z: -0.1})
+	moved := lo.TranslateTo(newC)
+	for trial := 0; trial < 10; trial++ {
+		at := newC.Add(vec.V3{
+			X: (rng.Float64()*2 - 1) * 0.3,
+			Y: (rng.Float64()*2 - 1) * 0.3,
+			Z: (rng.Float64()*2 - 1) * 0.3,
+		})
+		a, b := lo.EvalPotential(at), moved.EvalPotential(at)
+		if math.Abs(a-b) > 1e-10*(1+math.Abs(a)) {
+			t.Fatalf("trial %d: original %v, translated %v", trial, a, b)
+		}
+	}
+}
+
+func TestL2LIdentity(t *testing.T) {
+	lo := NewLocal(5, vec.V3{X: 1})
+	lo.AddSource(2, vec.V3{X: 9})
+	same := lo.TranslateTo(vec.V3{X: 1})
+	for i := range lo.C {
+		if same.C[i] != lo.C[i] {
+			t.Fatal("identity translation changed coefficients")
+		}
+	}
+}
+
+func TestL2LComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	_, _, m := wellSeparatedSetup(rng, 20, 0.4, vec.V3{X: -5}, 6)
+	lo := NewLocal(6, vec.V3{X: 5})
+	lo.AddMultipole(m)
+	b := vec.V3{X: 5.2, Y: 0.1, Z: -0.2}
+	c := vec.V3{X: 4.9, Y: -0.1, Z: 0.1}
+	two := lo.TranslateTo(b).TranslateTo(c)
+	one := lo.TranslateTo(c)
+	for i := range one.C {
+		d := two.C[i] - one.C[i]
+		if math.Hypot(real(d), imag(d)) > 1e-9*(1+math.Hypot(real(one.C[i]), imag(one.C[i]))) {
+			t.Fatalf("coefficient %d: two-step %v, one-step %v", i, two.C[i], one.C[i])
+		}
+	}
+}
+
+func TestP2LMatchesDirect(t *testing.T) {
+	src := vec.V3{X: -6, Y: 1, Z: 2}
+	const mass = 3.5
+	lo := NewLocal(12, vec.V3{X: 4})
+	lo.AddSource(mass, src)
+	at := vec.V3{X: 4.3, Y: -0.2, Z: 0.1}
+	want := Potential(at, src, mass, 0)
+	got := lo.EvalPotential(at)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("P2L %v, direct %v", got, want)
+	}
+}
+
+func TestLocalAddCombines(t *testing.T) {
+	a := NewLocal(4, vec.V3{})
+	b := NewLocal(4, vec.V3{})
+	a.AddSource(1, vec.V3{X: 10})
+	b.AddSource(2, vec.V3{Y: 12})
+	sum := a.Clone()
+	sum.Add(b)
+	at := vec.V3{X: 0.2, Y: 0.1}
+	want := a.EvalPotential(at) + b.EvalPotential(at)
+	if math.Abs(sum.EvalPotential(at)-want) > 1e-12 {
+		t.Fatal("Add is not linear")
+	}
+}
+
+func TestLocalAddRejectsMismatch(t *testing.T) {
+	a := NewLocal(3, vec.V3{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Add did not panic")
+		}
+	}()
+	a.Add(NewLocal(2, vec.V3{}))
+}
+
+func TestNegativeLocalDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLocal(-1) did not panic")
+		}
+	}()
+	NewLocal(-1, vec.V3{})
+}
+
+func TestM2LAfterM2MConsistent(t *testing.T) {
+	// Moments built at a child centre, translated to the parent (M2M),
+	// then converted to a local (M2L) must agree with the direct path.
+	rng := rand.New(rand.NewSource(5))
+	child := vec.V3{X: -3.2, Y: 0.1}
+	parent := vec.V3{X: -3}
+	ms, ps, _ := wellSeparatedSetup(rng, 20, 0.3, child, 8)
+	mChild := NewExpansion(8, child)
+	mChild.AddParticles(ms, ps)
+	mParent := mChild.TranslateTo(parent)
+
+	locC := vec.V3{X: 3}
+	viaParent := NewLocal(8, locC)
+	viaParent.AddMultipole(mParent)
+	direct := NewLocal(8, locC)
+	direct.AddMultipole(mChild)
+
+	at := locC.Add(vec.V3{X: 0.2, Y: 0.2, Z: -0.1})
+	a, b := viaParent.EvalPotential(at), direct.EvalPotential(at)
+	exact := directPotential(at, ms, ps)
+	if math.Abs(a-exact) > 1e-6*math.Abs(exact) || math.Abs(b-exact) > 1e-6*math.Abs(exact) {
+		t.Fatalf("pipeline potentials %v / %v vs exact %v", a, b, exact)
+	}
+}

@@ -1,0 +1,172 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/keys"
+	"repro/internal/phys"
+	"repro/internal/vec"
+)
+
+func TestKeyedBuildMatchesGeometricAggregates(t *testing.T) {
+	s := dist.MustNamed("plummer", 3000, 31)
+	geo := Build(s.Particles, Options{LeafCap: 8, Domain: s.Domain})
+	key := BuildKeyed(s.Particles, s.Domain, 8)
+	if key.Root.Count != geo.Root.Count {
+		t.Fatalf("counts differ: %d vs %d", key.Root.Count, geo.Root.Count)
+	}
+	if math.Abs(key.Root.Mass-geo.Root.Mass) > 1e-12 {
+		t.Fatalf("masses differ")
+	}
+	if key.Root.COM.Dist(geo.Root.COM) > 1e-12 {
+		t.Fatalf("COMs differ")
+	}
+}
+
+func TestKeyedBuildForcesMatchGeometric(t *testing.T) {
+	// The two builds may disagree about boundary particles by one cell,
+	// but the forces they produce agree to BH tolerance.
+	s := dist.MustNamed("g", 2000, 32)
+	geo := Build(s.Particles, Options{LeafCap: 8, Domain: s.Domain})
+	key := BuildKeyed(s.Particles, s.Domain, 8)
+	a1, _ := geo.AccelAll(s.Particles, 0.7, 0.01)
+	a2, _ := key.AccelAll(s.Particles, 0.7, 0.01)
+	if e := phys.FractionalErrorV3(a1, a2); e > 1e-3 {
+		t.Fatalf("keyed vs geometric force difference %v", e)
+	}
+}
+
+func TestKeyedCellMembershipConsistentWithKeys(t *testing.T) {
+	// The property that motivates the keyed build: every particle in a
+	// cell has a full-resolution Morton key inside the cell's key range.
+	s := dist.MustNamed("s_10g_a", 3000, 33)
+	tr := BuildKeyed(s.Particles, s.Domain, 8)
+	rootBox := tr.Root.Box
+	var check func(n *Node) bool
+	check = func(n *Node) bool {
+		if n == nil {
+			return true
+		}
+		shift := 3 * uint(keys.MaxBits3D-int(n.Key.Level))
+		lo := uint64(n.Key.Key) << shift
+		hi := lo + (1 << shift)
+		if n.IsLeaf() {
+			for i := range n.Particles {
+				k := uint64(keys.PointKey3(n.Particles[i].Pos, rootBox, keys.MaxBits3D))
+				if k < lo || k >= hi {
+					t.Errorf("particle %d key %x outside cell %v range [%x,%x)",
+						n.Particles[i].ID, k, n.Key, lo, hi)
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.Children {
+			if !check(c) {
+				return false
+			}
+		}
+		return true
+	}
+	check(tr.Root)
+}
+
+func TestKeyedSubtreeMatchesSubrange(t *testing.T) {
+	s := dist.MustNamed("uniform", 2000, 34)
+	full := BuildKeyed(s.Particles, s.Domain, 8)
+	rootBox := full.Root.Box
+	// Rebuild one child cell from the particles whose keys land in it.
+	for oct, child := range full.Root.Children {
+		if child == nil || child.Count == 0 {
+			continue
+		}
+		var sub []dist.Particle
+		for _, q := range s.Particles {
+			k := uint64(keys.PointKey3(q.Pos, rootBox, keys.MaxBits3D))
+			if int(k>>(3*(keys.MaxBits3D-1)))&7 == oct {
+				sub = append(sub, q)
+			}
+		}
+		re := BuildSubtreeKeyed(sub, rootBox, child.Box, child.Key, 8)
+		if re.Count != child.Count {
+			t.Fatalf("oct %d: count %d vs %d", oct, re.Count, child.Count)
+		}
+		if re.COM.Dist(child.COM) > 1e-12 {
+			t.Fatalf("oct %d: COM differs", oct)
+		}
+		break
+	}
+}
+
+func TestKeyedBuildCoincidentParticles(t *testing.T) {
+	ps := make([]dist.Particle, 30)
+	for i := range ps {
+		ps[i] = dist.Particle{ID: i, Mass: 1, Pos: vec.V3{X: 0.25, Y: 0.25, Z: 0.25}}
+	}
+	tr := BuildKeyed(ps, vec.NewBox(vec.V3{}, vec.V3{X: 1, Y: 1, Z: 1}), 4)
+	if tr.Root.Count != 30 {
+		t.Fatalf("count = %d", tr.Root.Count)
+	}
+	if tr.Depth() > MaxDepth {
+		t.Fatalf("depth = %d", tr.Depth())
+	}
+}
+
+func TestParticleLevelsAndCountNodes(t *testing.T) {
+	s := dist.MustNamed("uniform", 500, 35)
+	tr := Build(s.Particles, Options{LeafCap: 8, Domain: s.Domain})
+	pl := ParticleLevels(tr.Root)
+	// Every particle contributes at least the root level and at most
+	// MaxDepth levels.
+	if pl < int64(tr.Root.Count) || pl > int64(tr.Root.Count)*int64(MaxDepth+1) {
+		t.Fatalf("ParticleLevels = %d for %d particles", pl, tr.Root.Count)
+	}
+	if CountNodes(tr.Root) != tr.NumNodes() {
+		t.Fatal("CountNodes disagrees with NumNodes")
+	}
+}
+
+func TestAccelFromEqualsSubtreeTraversal(t *testing.T) {
+	s := dist.MustNamed("plummer", 1000, 36)
+	tr := Build(s.Particles, Options{LeafCap: 8, Domain: s.Domain})
+	// AccelFrom at the root must equal AccelAt.
+	for i := 0; i < 50; i++ {
+		q := s.Particles[i]
+		var s1, s2 Stats
+		a1 := tr.AccelAt(q.Pos, q.ID, 0.7, 0.01, &s1)
+		a2 := AccelFrom(tr.Root, q.Pos, q.ID, 0.7, 0.01, &s2)
+		if a1 != a2 {
+			t.Fatalf("particle %d: %v vs %v", i, a1, a2)
+		}
+		if s1 != s2 {
+			t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+		}
+	}
+}
+
+func TestSumLoadsNode(t *testing.T) {
+	s := dist.MustNamed("uniform", 400, 37)
+	tr := Build(s.Particles, Options{LeafCap: 8, Domain: s.Domain})
+	for _, q := range s.Particles {
+		tr.AccelAt(q.Pos, q.ID, 0.7, 0.01, nil)
+	}
+	// SumLoadsNode aggregates destructively: after one call, each child's
+	// Load holds its subtree total and the root total is its own load
+	// plus the children's totals.
+	rootOwn := tr.Root.Load
+	total := SumLoadsNode(tr.Root)
+	var childSum int64
+	for _, c := range tr.Root.Children {
+		if c != nil {
+			childSum += c.Load
+		}
+	}
+	if total != rootOwn+childSum {
+		t.Fatalf("SumLoadsNode inconsistent: %d vs %d+%d", total, rootOwn, childSum)
+	}
+	if total <= 0 {
+		t.Fatal("no load recorded")
+	}
+}

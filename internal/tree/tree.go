@@ -1,0 +1,710 @@
+// Package tree implements the serial Barnes–Hut octree: construction with
+// s-particle leaves, centre-of-mass and multipole upward passes, the
+// α multipole acceptance criterion, force and potential traversals, and
+// the per-node interaction counters that drive the paper's load-balancing
+// schemes. The distributed formulations in package parbh are built from
+// the same nodes: each processor owns subtrees of this form and grafts
+// them under a replicated top tree.
+package tree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/keys"
+	"repro/internal/phys"
+	"repro/internal/vec"
+)
+
+// DefaultLeafCap is the default maximum number of particles in a leaf
+// (the paper's s parameter).
+const DefaultLeafCap = 8
+
+// MaxDepth bounds the octree depth. 21 levels is the Morton key
+// resolution; beyond that coincident particles would recurse forever, so
+// deeper cells become oversized leaves.
+const MaxDepth = keys.MaxBits3D
+
+// Node is one cell of the octree. Internal nodes have at least one
+// non-nil child; leaves carry the particles themselves.
+type Node struct {
+	Box   vec.Box      // spatial extent (a cube)
+	Key   keys.CellKey // hierarchical cell identity
+	Mass  float64      // total mass of the subtree
+	COM   vec.V3       // centre of mass of the subtree
+	Count int          // number of particles in the subtree
+
+	// Load counts the particles this node computed interactions with
+	// during the last force-computation phase (Section 3.3: "each node in
+	// the tree keeps track of the number of particles it interacts
+	// with"). For leaves it counts particle–particle interactions.
+	Load int64
+
+	Children  [8]*Node
+	Particles []dist.Particle // leaf payload; nil for internal nodes
+
+	// Exp is the node's multipole expansion about its centre of mass,
+	// populated by BuildExpansions for potential-mode traversals.
+	Exp *phys.Expansion
+}
+
+// IsLeaf reports whether the node stores particles directly.
+func (n *Node) IsLeaf() bool { return n.Particles != nil || n.Count == 0 }
+
+// Tree is a Barnes–Hut octree over a particle set.
+type Tree struct {
+	Root    *Node
+	LeafCap int
+	Degree  int // multipole degree of the expansions, -1 if absent
+}
+
+// Options configure tree construction.
+type Options struct {
+	// LeafCap is the s parameter: cells with more than LeafCap particles
+	// are split. Zero means DefaultLeafCap.
+	LeafCap int
+	// Domain overrides the root cell. When zero, the root is the cube
+	// around the particles' bounding box.
+	Domain vec.Box
+	// CollapseBoxes enables the box-collapsing technique of Section 2:
+	// before splitting, a cell shrinks to the smallest cube containing
+	// its particles, so a tight pair in a huge cell is resolved in O(1)
+	// subdivisions instead of one per halving. This bounds the build at
+	// O(n log n) where the plain method is unbounded. Collapsed cells are
+	// no longer aligned with the hierarchical Morton decomposition, so
+	// the option applies to serial trees only (the distributed engines
+	// rely on key-aligned cells).
+	CollapseBoxes bool
+}
+
+// Build constructs the octree for the particles. The root cell is the
+// cube enclosing the domain so that octant subdivision preserves cubic
+// cells (the MAC's size/distance test assumes cubes).
+func Build(particles []dist.Particle, opt Options) *Tree {
+	leafCap := opt.LeafCap
+	if leafCap <= 0 {
+		leafCap = DefaultLeafCap
+	}
+	box := opt.Domain
+	if box == (vec.Box{}) {
+		pts := make([]vec.V3, len(particles))
+		for i := range particles {
+			pts[i] = particles[i].Pos
+		}
+		box = vec.BoundingBox(pts).Expand(1e-9)
+	}
+	box = box.Cube()
+	t := &Tree{LeafCap: leafCap, Degree: -1}
+	ps := append([]dist.Particle(nil), particles...)
+	if opt.CollapseBoxes {
+		t.Root = buildCollapsed(ps, box, keys.CellKey{}, leafCap)
+	} else {
+		t.Root = buildNode(ps, box, keys.CellKey{}, leafCap)
+	}
+	return t
+}
+
+// buildCollapsed is buildNode with box collapsing: the cell first shrinks
+// to the smallest cube enclosing its particles (padded so boundary
+// particles stay strictly inside), then splits by octant as usual. Depth
+// is bounded by the particle count, not the geometry, so no MaxDepth
+// fallback is needed; key levels are still capped to stay meaningful.
+func buildCollapsed(ps []dist.Particle, box vec.Box, key keys.CellKey, leafCap int) *Node {
+	n := &Node{Box: box, Key: key}
+	n.Count = len(ps)
+	if len(ps) == 0 {
+		n.Particles = []dist.Particle{}
+		return n
+	}
+	if len(ps) <= leafCap {
+		n.Particles = ps
+		for i := range ps {
+			n.Mass += ps[i].Mass
+			n.COM = n.COM.Add(ps[i].Pos.Scale(ps[i].Mass))
+		}
+		if n.Mass > 0 {
+			n.COM = n.COM.Scale(1 / n.Mass)
+		}
+		return n
+	}
+	// Collapse: tighten to the particles' bounding cube when it is
+	// substantially smaller than the current cell. The coincidence test
+	// uses the raw (unpadded) extent: positions closer than one ulp are
+	// identical in float64 and can never be separated.
+	pts := make([]vec.V3, len(ps))
+	for i := range ps {
+		pts[i] = ps[i].Pos
+	}
+	raw := vec.BoundingBox(pts)
+	if raw.LongestSide() == 0 {
+		// All particles coincide: keep them as one leaf.
+		n.Particles = ps
+		for i := range ps {
+			n.Mass += ps[i].Mass
+			n.COM = n.COM.Add(ps[i].Pos.Scale(ps[i].Mass))
+		}
+		if n.Mass > 0 {
+			n.COM = n.COM.Scale(1 / n.Mass)
+		}
+		return n
+	}
+	tight := raw.Expand(raw.LongestSide() * 1e-9).Cube()
+	if tight.LongestSide() < 0.5*box.LongestSide() {
+		box = tight
+		n.Box = tight
+	}
+	var buckets [8][]dist.Particle
+	for i := range ps {
+		buckets[box.OctantOf(ps[i].Pos)] = append(buckets[box.OctantOf(ps[i].Pos)], ps[i])
+	}
+	childLevel := key.Level
+	if int(childLevel) < MaxDepth {
+		childLevel++
+	}
+	for o := 0; o < 8; o++ {
+		if len(buckets[o]) == 0 {
+			continue
+		}
+		ck := keys.CellKey{Level: childLevel, Key: key.Key<<3 | keys.Morton(o)}
+		child := buildCollapsed(buckets[o], box.Octant(o), ck, leafCap)
+		n.Children[o] = child
+		n.Mass += child.Mass
+		n.COM = n.COM.Add(child.COM.Scale(child.Mass))
+	}
+	if n.Mass > 0 {
+		n.COM = n.COM.Scale(1 / n.Mass)
+	}
+	return n
+}
+
+// BuildSubtree constructs a subtree for the cell identified by key with
+// extent box. Used by the distributed construction, where each processor
+// builds the subtrees under its branch nodes independently.
+func BuildSubtree(particles []dist.Particle, box vec.Box, key keys.CellKey, leafCap int) *Node {
+	if leafCap <= 0 {
+		leafCap = DefaultLeafCap
+	}
+	ps := append([]dist.Particle(nil), particles...)
+	return buildNode(ps, box, key, leafCap)
+}
+
+// buildNode recursively partitions ps (which it may reorder) into the
+// octants of box.
+func buildNode(ps []dist.Particle, box vec.Box, key keys.CellKey, leafCap int) *Node {
+	n := &Node{Box: box, Key: key}
+	n.Count = len(ps)
+	if len(ps) == 0 {
+		n.Particles = []dist.Particle{}
+		return n
+	}
+	if len(ps) <= leafCap || int(key.Level) >= MaxDepth {
+		n.Particles = ps
+		for i := range ps {
+			n.Mass += ps[i].Mass
+			n.COM = n.COM.Add(ps[i].Pos.Scale(ps[i].Mass))
+		}
+		if n.Mass > 0 {
+			n.COM = n.COM.Scale(1 / n.Mass)
+		}
+		return n
+	}
+	// Partition in place: bucket by octant with a counting pass, then a
+	// stable scatter into a scratch slice reused as the children's backing
+	// storage.
+	var counts [8]int
+	for i := range ps {
+		counts[box.OctantOf(ps[i].Pos)]++
+	}
+	var starts [9]int
+	for o := 0; o < 8; o++ {
+		starts[o+1] = starts[o] + counts[o]
+	}
+	scratch := make([]dist.Particle, len(ps))
+	var fill [8]int
+	for i := range ps {
+		o := box.OctantOf(ps[i].Pos)
+		scratch[starts[o]+fill[o]] = ps[i]
+		fill[o]++
+	}
+	for o := 0; o < 8; o++ {
+		if counts[o] == 0 {
+			continue
+		}
+		child := buildNode(scratch[starts[o]:starts[o+1]], box.Octant(o), key.Child(o), leafCap)
+		n.Children[o] = child
+		n.Mass += child.Mass
+		n.COM = n.COM.Add(child.COM.Scale(child.Mass))
+	}
+	if n.Mass > 0 {
+		n.COM = n.COM.Scale(1 / n.Mass)
+	}
+	return n
+}
+
+// BuildKeyed constructs the octree using quantized Morton keys for every
+// octant decision instead of geometric comparisons. The two agree except
+// for particles within a rounding ulp of a cell boundary — but the
+// parallel DPDA decomposition defines ownership by key ranges, so its
+// trees must be built with exactly the same arithmetic or a processor
+// could claim cells inside another's range. domain is the global root
+// cell (it is cubed internally).
+func BuildKeyed(particles []dist.Particle, domain vec.Box, leafCap int) *Tree {
+	if leafCap <= 0 {
+		leafCap = DefaultLeafCap
+	}
+	box := domain.Cube()
+	ps := append([]dist.Particle(nil), particles...)
+	ks := make([]uint64, len(ps))
+	for i := range ps {
+		ks[i] = uint64(keys.PointKey3(ps[i].Pos, box, keys.MaxBits3D))
+	}
+	t := &Tree{LeafCap: leafCap, Degree: -1}
+	t.Root = buildKeyedNode(ps, ks, box, keys.CellKey{}, leafCap)
+	return t
+}
+
+// BuildSubtreeKeyed is BuildKeyed for the subtree of cell `key` (with
+// extent box); rootBox is the global root cell the particle keys are
+// quantized against.
+func BuildSubtreeKeyed(particles []dist.Particle, rootBox vec.Box, box vec.Box, key keys.CellKey, leafCap int) *Node {
+	if leafCap <= 0 {
+		leafCap = DefaultLeafCap
+	}
+	ps := append([]dist.Particle(nil), particles...)
+	ks := make([]uint64, len(ps))
+	for i := range ps {
+		ks[i] = uint64(keys.PointKey3(ps[i].Pos, rootBox, keys.MaxBits3D))
+	}
+	return buildKeyedNode(ps, ks, box, key, leafCap)
+}
+
+// keyOctant extracts the octant a full-resolution key takes at the given
+// tree level (level 0 chooses the root's child).
+func keyOctant(k uint64, level int) int {
+	return int(k>>(3*uint(keys.MaxBits3D-1-level))) & 7
+}
+
+func buildKeyedNode(ps []dist.Particle, ks []uint64, box vec.Box, key keys.CellKey, leafCap int) *Node {
+	n := &Node{Box: box, Key: key}
+	n.Count = len(ps)
+	if len(ps) == 0 {
+		n.Particles = []dist.Particle{}
+		return n
+	}
+	if len(ps) <= leafCap || int(key.Level) >= MaxDepth {
+		n.Particles = ps
+		for i := range ps {
+			n.Mass += ps[i].Mass
+			n.COM = n.COM.Add(ps[i].Pos.Scale(ps[i].Mass))
+		}
+		if n.Mass > 0 {
+			n.COM = n.COM.Scale(1 / n.Mass)
+		}
+		return n
+	}
+	level := int(key.Level)
+	var counts [8]int
+	for i := range ps {
+		counts[keyOctant(ks[i], level)]++
+	}
+	var starts [9]int
+	for o := 0; o < 8; o++ {
+		starts[o+1] = starts[o] + counts[o]
+	}
+	scratchP := make([]dist.Particle, len(ps))
+	scratchK := make([]uint64, len(ps))
+	var fill [8]int
+	for i := range ps {
+		o := keyOctant(ks[i], level)
+		scratchP[starts[o]+fill[o]] = ps[i]
+		scratchK[starts[o]+fill[o]] = ks[i]
+		fill[o]++
+	}
+	for o := 0; o < 8; o++ {
+		if counts[o] == 0 {
+			continue
+		}
+		child := buildKeyedNode(scratchP[starts[o]:starts[o+1]], scratchK[starts[o]:starts[o+1]],
+			box.Octant(o), key.Child(o), leafCap)
+		n.Children[o] = child
+		n.Mass += child.Mass
+		n.COM = n.COM.Add(child.COM.Scale(child.Mass))
+	}
+	if n.Mass > 0 {
+		n.COM = n.COM.Scale(1 / n.Mass)
+	}
+	return n
+}
+
+// BuildExpansions populates every node's multipole expansion of the given
+// degree about its centre of mass: P2M at the leaves, M2M (exact
+// translation) on the way up. After this call the tree can serve
+// potential-mode traversals.
+func (t *Tree) BuildExpansions(degree int) {
+	t.Degree = degree
+	buildExp(t.Root, degree)
+}
+
+func buildExp(n *Node, degree int) {
+	if n == nil || n.Count == 0 {
+		return
+	}
+	e := phys.NewExpansion(degree, n.COM)
+	if n.IsLeaf() {
+		for i := range n.Particles {
+			e.AddParticle(n.Particles[i].Mass, n.Particles[i].Pos)
+		}
+	} else {
+		for _, c := range n.Children {
+			if c == nil || c.Count == 0 {
+				continue
+			}
+			buildExp(c, degree)
+			e.Add(c.Exp.TranslateTo(n.COM))
+		}
+	}
+	n.Exp = e
+}
+
+// ResetLoads zeroes the interaction counters throughout the tree.
+func (t *Tree) ResetLoads() { resetLoad(t.Root) }
+
+func resetLoad(n *Node) {
+	if n == nil {
+		return
+	}
+	n.Load = 0
+	for _, c := range n.Children {
+		resetLoad(c)
+	}
+}
+
+// SumLoads propagates leaf/interior interaction counts up the tree so
+// that each node's Load is the total for its subtree, and returns the
+// root total W (Section 3.3.3: "After the force computation phase, this
+// variable is summed up along the tree").
+func (t *Tree) SumLoads() int64 { return sumLoad(t.Root) }
+
+func sumLoad(n *Node) int64 {
+	if n == nil {
+		return 0
+	}
+	for _, c := range n.Children {
+		n.Load += sumLoad(c)
+	}
+	return n.Load
+}
+
+// Stats summarizes a traversal's work in the units of the paper's cost
+// model.
+type Stats struct {
+	MACTests int64 // multipole acceptance tests evaluated
+	PC       int64 // particle–cluster interactions
+	PP       int64 // particle–particle interactions
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.MACTests += o.MACTests
+	s.PC += o.PC
+	s.PP += o.PP
+}
+
+// Flops converts the counts to floating-point operations at the given
+// multipole degree.
+func (s Stats) Flops(degree int) float64 {
+	return float64(s.MACTests)*phys.MACFlops +
+		float64(s.PC)*phys.InteractionFlops(degree) +
+		float64(s.PP)*phys.PPFlops
+}
+
+// Interactions returns the paper's F measure: total force computations.
+func (s Stats) Interactions() int64 { return s.PC + s.PP }
+
+// Accepts reports whether the multipole acceptance criterion holds for
+// node n observed from pos: the ratio of the box dimension to the
+// distance from the point to the node's centre of mass is below α.
+func Accepts(n *Node, pos vec.V3, alpha float64) bool {
+	d := pos.Dist(n.COM)
+	if d == 0 {
+		return false
+	}
+	return n.Box.LongestSide()/d < alpha
+}
+
+// AccelAt computes the Barnes–Hut monopole approximation of the
+// gravitational acceleration at pos. selfID excludes that particle from
+// near-field sums (pass a negative value for field points). Interaction
+// counts are recorded into stats (which may be nil) and into the per-node
+// Load counters.
+func (t *Tree) AccelAt(pos vec.V3, selfID int, alpha, eps float64, stats *Stats) vec.V3 {
+	var s Stats
+	a := accelNode(t.Root, pos, selfID, alpha, eps, &s)
+	if stats != nil {
+		stats.Add(s)
+	}
+	return a
+}
+
+func accelNode(n *Node, pos vec.V3, selfID int, alpha, eps float64, s *Stats) vec.V3 {
+	if n == nil || n.Count == 0 {
+		return vec.V3{}
+	}
+	if n.IsLeaf() {
+		var a vec.V3
+		for i := range n.Particles {
+			p := &n.Particles[i]
+			if p.ID == selfID {
+				continue
+			}
+			a = a.Add(phys.Accel(pos, p.Pos, p.Mass, eps))
+			s.PP++
+		}
+		n.Load += int64(len(n.Particles))
+		return a
+	}
+	s.MACTests++
+	if Accepts(n, pos, alpha) {
+		s.PC++
+		n.Load++
+		return phys.Accel(pos, n.COM, n.Mass, eps)
+	}
+	var a vec.V3
+	for _, c := range n.Children {
+		if c != nil {
+			a = a.Add(accelNode(c, pos, selfID, alpha, eps, s))
+		}
+	}
+	return a
+}
+
+// PotentialAt computes the Barnes–Hut potential at pos using the nodes'
+// degree-k multipole expansions (BuildExpansions must have run). selfID
+// excludes that particle from near-field sums.
+func (t *Tree) PotentialAt(pos vec.V3, selfID int, alpha float64, stats *Stats) float64 {
+	if t.Degree < 0 {
+		panic("tree: PotentialAt requires BuildExpansions")
+	}
+	var s Stats
+	phi := potNode(t.Root, pos, selfID, alpha, &s)
+	if stats != nil {
+		stats.Add(s)
+	}
+	return phi
+}
+
+func potNode(n *Node, pos vec.V3, selfID int, alpha float64, s *Stats) float64 {
+	if n == nil || n.Count == 0 {
+		return 0
+	}
+	if n.IsLeaf() {
+		var phi float64
+		for i := range n.Particles {
+			p := &n.Particles[i]
+			if p.ID == selfID {
+				continue
+			}
+			phi += phys.Potential(pos, p.Pos, p.Mass, 0)
+			s.PP++
+		}
+		n.Load += int64(len(n.Particles))
+		return phi
+	}
+	s.MACTests++
+	if Accepts(n, pos, alpha) {
+		s.PC++
+		n.Load++
+		return n.Exp.EvalPotential(pos)
+	}
+	var phi float64
+	for _, c := range n.Children {
+		if c != nil {
+			phi += potNode(c, pos, selfID, alpha, s)
+		}
+	}
+	return phi
+}
+
+// AccelFrom computes the monopole-approximation acceleration at pos due
+// to the subtree rooted at n, applying the MAC at every internal node
+// (including n itself). Used by the parallel engines, where a processor
+// serves a shipped particle against the subtree under one of its branch
+// nodes.
+func AccelFrom(n *Node, pos vec.V3, selfID int, alpha, eps float64, stats *Stats) vec.V3 {
+	var s Stats
+	a := accelNode(n, pos, selfID, alpha, eps, &s)
+	if stats != nil {
+		stats.Add(s)
+	}
+	return a
+}
+
+// PotentialFrom is AccelFrom for degree-k potential traversals; the
+// subtree's expansions must have been built.
+func PotentialFrom(n *Node, pos vec.V3, selfID int, alpha float64, stats *Stats) float64 {
+	var s Stats
+	phi := potNode(n, pos, selfID, alpha, &s)
+	if stats != nil {
+		stats.Add(s)
+	}
+	return phi
+}
+
+// SumLoadsNode aggregates interaction counts up the subtree rooted at n
+// (destructively, like Tree.SumLoads) and returns the subtree total.
+func SumLoadsNode(n *Node) int64 { return sumLoad(n) }
+
+// BuildNodeExpansions populates multipole expansions of the given degree
+// for the subtree rooted at n.
+func BuildNodeExpansions(n *Node, degree int) { buildExp(n, degree) }
+
+// ParticleLevels returns the sum over all nodes of their particle counts,
+// i.e. the total number of particle–level hops performed while building
+// the subtree — the unit of the tree-construction cost model.
+func ParticleLevels(n *Node) int64 {
+	if n == nil {
+		return 0
+	}
+	total := int64(n.Count)
+	for _, c := range n.Children {
+		total += ParticleLevels(c)
+	}
+	return total
+}
+
+// CountNodes returns the number of nodes in the subtree rooted at n.
+func CountNodes(n *Node) int { return countNodes(n) }
+
+// AccelAll computes accelerations for every particle in ps against the
+// tree, returning one acceleration per particle and the combined stats.
+func (t *Tree) AccelAll(ps []dist.Particle, alpha, eps float64) ([]vec.V3, Stats) {
+	out := make([]vec.V3, len(ps))
+	var s Stats
+	for i := range ps {
+		out[i] = t.AccelAt(ps[i].Pos, ps[i].ID, alpha, eps, &s)
+	}
+	return out, s
+}
+
+// PotentialAll computes potentials for every particle in ps.
+func (t *Tree) PotentialAll(ps []dist.Particle, alpha float64) ([]float64, Stats) {
+	out := make([]float64, len(ps))
+	var s Stats
+	for i := range ps {
+		out[i] = t.PotentialAt(ps[i].Pos, ps[i].ID, alpha, &s)
+	}
+	return out, s
+}
+
+// WalkLeaves visits the leaves in Morton (in-order, left-to-right) order,
+// the traversal the DPDA costzones partitioning uses. The visitor returns
+// false to stop the walk early.
+func (t *Tree) WalkLeaves(visit func(*Node) bool) { walkLeaves(t.Root, visit) }
+
+func walkLeaves(n *Node, visit func(*Node) bool) bool {
+	if n == nil || n.Count == 0 {
+		return true
+	}
+	if n.IsLeaf() {
+		return visit(n)
+	}
+	for _, c := range n.Children {
+		if !walkLeaves(c, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk visits every node in depth-first Morton order.
+func (t *Tree) Walk(visit func(*Node) bool) { walkAll(t.Root, visit) }
+
+func walkAll(n *Node, visit func(*Node) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !visit(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !walkAll(c, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the maximum depth of the tree (root = 0).
+func (t *Tree) Depth() int { return depth(t.Root) }
+
+func depth(n *Node) int {
+	if n == nil {
+		return -1
+	}
+	d := 0
+	for _, c := range n.Children {
+		if cd := depth(c) + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree) NumNodes() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	c := 1
+	for _, ch := range n.Children {
+		c += countNodes(ch)
+	}
+	return c
+}
+
+// Validate checks structural invariants: particle counts and masses
+// aggregate correctly, particles lie in their leaf boxes, and child cells
+// match their keys. It returns the first violation found.
+func (t *Tree) Validate() error { return validate(t.Root) }
+
+func validate(n *Node) error {
+	if n == nil {
+		return nil
+	}
+	if n.IsLeaf() {
+		if len(n.Particles) != n.Count {
+			return fmt.Errorf("tree: leaf %v count %d but %d particles", n.Key, n.Count, len(n.Particles))
+		}
+		for i := range n.Particles {
+			if !n.Box.Contains(n.Particles[i].Pos) {
+				return fmt.Errorf("tree: particle %d outside leaf %v", n.Particles[i].ID, n.Key)
+			}
+		}
+		return nil
+	}
+	count := 0
+	mass := 0.0
+	for o, c := range n.Children {
+		if c == nil {
+			continue
+		}
+		if c.Key != n.Key.Child(o) {
+			return fmt.Errorf("tree: child %d of %v has key %v", o, n.Key, c.Key)
+		}
+		if err := validate(c); err != nil {
+			return err
+		}
+		count += c.Count
+		mass += c.Mass
+	}
+	if count != n.Count {
+		return fmt.Errorf("tree: node %v count %d but children sum %d", n.Key, n.Count, count)
+	}
+	if math.Abs(mass-n.Mass) > 1e-9*(1+math.Abs(n.Mass)) {
+		return fmt.Errorf("tree: node %v mass %v but children sum %v", n.Key, n.Mass, mass)
+	}
+	return nil
+}
