@@ -2,6 +2,7 @@ package barneshut
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -43,13 +44,25 @@ func (s *Simulation) WriteCheckpoint(w io.Writer) error {
 func (s *Simulation) domain() Box { return s.engine.Domain() }
 
 // ReadCheckpoint reconstructs a Simulation from a checkpoint stream.
+// It fails with a descriptive error on truncated or corrupt streams and
+// on checkpoints written by a newer version of this package.
 func ReadCheckpoint(r io.Reader) (*Simulation, error) {
 	var cp checkpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("barneshut: reading checkpoint: %w", err)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("barneshut: truncated checkpoint stream: %w", err)
+		}
+		return nil, fmt.Errorf("barneshut: corrupt checkpoint stream: %w", err)
+	}
+	if cp.Version > checkpointVersion {
+		return nil, fmt.Errorf("barneshut: checkpoint version %d is newer than the supported version %d (written by a newer release?)",
+			cp.Version, checkpointVersion)
 	}
 	if cp.Version != checkpointVersion {
 		return nil, fmt.Errorf("barneshut: unsupported checkpoint version %d", cp.Version)
+	}
+	if len(cp.Bodies) == 0 {
+		return nil, errors.New("barneshut: checkpoint contains no particles")
 	}
 	set := &ParticleSet{Particles: cp.Bodies, Domain: cp.Domain}
 	sim, err := NewSimulation(set, cp.Config)

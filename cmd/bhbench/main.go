@@ -7,12 +7,19 @@
 //	bhbench -table 1                   # Table 1 only
 //	bhbench -table fig9 -scale 0.25    # Fig 9 at quarter particle counts
 //	bhbench -table ship -maxprocs 16   # cap the simulated machine size
+//	bhbench -table 1 -json             # machine-readable per-run results
 //
 // Known ids: 1..7, fig9, kw (Section 4.1), ship (Section 4.2),
 // binsize, lookup, ordering, treebuild (ablations).
+//
+// With -json, bhbench suppresses the text tables and prints a single
+// JSON document: the rendered tables plus one record per engine
+// execution (scheme, n, p, machine, wall/simulated time, efficiency),
+// so CI can track the performance trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,25 +28,47 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Scale          float64               `json:"scale"`
+	MaxProcs       int                   `json:"maxprocs"`
+	Seed           int64                 `json:"seed"`
+	ElapsedSeconds float64               `json:"elapsed_seconds"`
+	Tables         []jsonTable           `json:"tables"`
+	Runs           []experiments.Record  `json:"runs"`
+}
+
+// jsonTable mirrors experiments.Table with lowercase JSON keys.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
 func main() {
 	var (
 		table    = flag.String("table", "all", "experiment id or 'all'")
 		scale    = flag.Float64("scale", 1.0/16, "particle-count scale relative to the paper")
 		maxProcs = flag.Int("maxprocs", 256, "cap on simulated processor counts")
 		seed     = flag.Int64("seed", 1994, "dataset generation seed")
+		asJSON   = flag.Bool("json", false, "emit a JSON document with per-run records instead of text tables")
 	)
 	flag.Parse()
 
 	opt := experiments.Options{Scale: *scale, MaxProcs: *maxProcs, Seed: *seed}
+	if *asJSON {
+		experiments.StartRecording()
+	}
 	start := time.Now()
+	var tabs []experiments.Table
 	if *table == "all" {
-		tabs, err := experiments.All(opt)
+		var err error
+		tabs, err = experiments.All(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bhbench:", err)
 			os.Exit(1)
-		}
-		for _, t := range tabs {
-			fmt.Println(t.Format())
 		}
 	} else {
 		fn, ok := experiments.ByID(*table)
@@ -52,8 +81,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bhbench:", err)
 			os.Exit(1)
 		}
+		tabs = []experiments.Table{t}
+	}
+	elapsed := time.Since(start).Seconds()
+
+	if *asJSON {
+		report := jsonReport{
+			Scale:          *scale,
+			MaxProcs:       *maxProcs,
+			Seed:           *seed,
+			ElapsedSeconds: elapsed,
+			Runs:           experiments.StopRecording(),
+		}
+		for _, t := range tabs {
+			report.Tables = append(report.Tables, jsonTable(t))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "bhbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, t := range tabs {
 		fmt.Println(t.Format())
 	}
 	fmt.Printf("elapsed: %.1fs (scale=%.4g, maxprocs=%d)\n",
-		time.Since(start).Seconds(), *scale, *maxProcs)
+		elapsed, *scale, *maxProcs)
 }

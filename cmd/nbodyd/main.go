@@ -1,0 +1,83 @@
+// Command nbodyd is the simulation job daemon: an HTTP service that
+// queues n-body simulation jobs, runs them on a bounded worker pool,
+// streams progress as NDJSON, and checkpoints running jobs to a spool
+// directory so they resume after a restart.
+//
+// Usage:
+//
+//	nbodyd -addr :8080 -workers 4 -queue 32 -spool /var/lib/nbodyd
+//
+// Endpoints (see the README for a walkthrough):
+//
+//	POST /api/v1/jobs             submit   GET /api/v1/jobs            list
+//	GET  /api/v1/jobs/{id}        inspect  GET /api/v1/jobs/{id}/stream NDJSON
+//	POST /api/v1/jobs/{id}/cancel cancel   GET /api/v1/jobs/{id}/result result
+//	GET  /metrics                 metrics  GET /healthz                liveness
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, checkpoints every
+// running job to the spool, and exits; a daemon started later on the
+// same spool resumes the interrupted jobs from their last checkpoint.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		workers   = flag.Int("workers", 2, "worker pool size")
+		queue     = flag.Int("queue", 16, "queued-job bound beyond running jobs (beyond it: 429)")
+		spool     = flag.String("spool", "", "spool directory for checkpoint-backed resume (empty disables)")
+		ckptEvery = flag.Int("checkpoint-every", 10, "steps between periodic job checkpoints")
+		drain     = flag.Duration("drain", 30*time.Second, "max time to wait for workers on shutdown")
+	)
+	flag.Parse()
+
+	svc, err := service.New(service.Options{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		SpoolDir:        *spool,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		log.Fatalf("nbodyd: %v", err)
+	}
+	svc.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("nbodyd: listening on %s (workers=%d queue=%d spool=%q)",
+		*addr, *workers, *queue, *spool)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("nbodyd: signal received, draining (max %s)", *drain)
+	case err := <-errc:
+		log.Fatalf("nbodyd: serve: %v", err)
+	}
+
+	// Stop admission first, then checkpoint and drain the workers.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("nbodyd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil {
+		log.Printf("nbodyd: worker drain: %v", err)
+	}
+	log.Printf("nbodyd: stopped")
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/msg"
@@ -143,6 +145,71 @@ type runCfg struct {
 	warmup   int
 }
 
+// Record captures one engine execution in machine-readable form, for
+// the bhbench -json output consumed by CI perf tracking.
+type Record struct {
+	Scheme      string  `json:"scheme"`
+	Mode        string  `json:"mode"`
+	N           int     `json:"n"`
+	P           int     `json:"p"`
+	Machine     string  `json:"machine"`
+	Alpha       float64 `json:"alpha"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	Efficiency  float64 `json:"efficiency"`
+	Speedup     float64 `json:"speedup"`
+	Imbalance   float64 `json:"imbalance"`
+	CommWords   int64   `json:"comm_words"`
+}
+
+// recorder collects Records from every run() while enabled. Guarded by
+// a mutex because some experiments may run concurrently in tests.
+var recorder struct {
+	sync.Mutex
+	active bool
+	recs   []Record
+}
+
+// StartRecording begins capturing a Record per engine execution.
+func StartRecording() {
+	recorder.Lock()
+	recorder.active = true
+	recorder.recs = nil
+	recorder.Unlock()
+}
+
+// StopRecording ends capture and returns the records in execution order.
+func StopRecording() []Record {
+	recorder.Lock()
+	defer recorder.Unlock()
+	recorder.active = false
+	recs := recorder.recs
+	recorder.recs = nil
+	return recs
+}
+
+func record(set *dist.Set, c runCfg, wall time.Duration, res *parbh.Result) {
+	recorder.Lock()
+	defer recorder.Unlock()
+	if !recorder.active {
+		return
+	}
+	recorder.recs = append(recorder.recs, Record{
+		Scheme:      c.scheme.String(),
+		Mode:        c.mode.String(),
+		N:           set.N(),
+		P:           c.p,
+		Machine:     c.profile.Name,
+		Alpha:       c.alpha,
+		WallSeconds: wall.Seconds(),
+		SimSeconds:  res.SimTime,
+		Efficiency:  res.Efficiency,
+		Speedup:     res.Speedup,
+		Imbalance:   res.Imbalance,
+		CommWords:   res.CommWords,
+	})
+}
+
 // run executes warmup+1 steps of the configured engine on the set and
 // returns the final step's result (the paper times one iteration after
 // letting the load balance settle).
@@ -166,10 +233,13 @@ func run(set *dist.Set, c runCfg) (*parbh.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	for i := 0; i < c.warmup; i++ {
 		e.Step()
 	}
-	return e.Step(), nil
+	res := e.Step()
+	record(set, c, time.Since(start), res)
+	return res, nil
 }
 
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }

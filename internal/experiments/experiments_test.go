@@ -4,6 +4,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/parbh"
 )
 
 // tiny returns options small enough for unit tests.
@@ -266,5 +269,41 @@ func TestTable7ShapeErrorGrowsWithAlpha(t *testing.T) {
 		if ec < ea {
 			t.Errorf("%s: error fell as α grew (%v -> %v)", row[0], ea, ec)
 		}
+	}
+}
+
+func TestRecordingCapturesRuns(t *testing.T) {
+	StartRecording()
+	set, err := Dataset("s_1g_a", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run(set, runCfg{
+		scheme: parbh.SPSA, mode: parbh.ForceMode, p: 4, alpha: 0.67,
+		profile: msg.Ideal(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := StopRecording()
+	if len(recs) != 1 {
+		t.Fatalf("want 1 record, got %d", len(recs))
+	}
+	r := recs[0]
+	if r.Scheme != "SPSA" || r.P != 4 || r.N != set.N() || r.Machine != msg.Ideal().Name {
+		t.Fatalf("bad record %+v", r)
+	}
+	if r.SimSeconds != res.SimTime || r.Efficiency != res.Efficiency {
+		t.Fatalf("record does not match result: %+v vs %+v", r, res)
+	}
+	if r.WallSeconds <= 0 {
+		t.Fatalf("wall time not captured: %+v", r)
+	}
+	// Recording off: runs are not captured.
+	if _, err := run(set, runCfg{scheme: parbh.SPSA, mode: parbh.ForceMode, p: 2, alpha: 0.67, profile: msg.Ideal()}); err != nil {
+		t.Fatal(err)
+	}
+	if recs := StopRecording(); len(recs) != 0 {
+		t.Fatalf("recorder leaked %d records while inactive", len(recs))
 	}
 }

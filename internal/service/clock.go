@@ -1,0 +1,40 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so tests can drive timestamps and rate
+// gauges deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced Clock for tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at t.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{t: t} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

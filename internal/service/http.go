@@ -1,0 +1,170 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /api/v1/jobs             submit a job (202; 400 invalid; 429 full)
+//	GET  /api/v1/jobs             list jobs in submission order
+//	GET  /api/v1/jobs/{id}        one job's status
+//	GET  /api/v1/jobs/{id}/stream NDJSON progress until the job ends
+//	POST /api/v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /api/v1/jobs/{id}/result final state of a completed job
+//	GET  /metrics                 Prometheus-style text metrics
+//	GET  /healthz                 liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.metrics.JobsInvalid.Add(1)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		w.Header().Set("Location", "/api/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrTerminal):
+		writeErr(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotDone):
+		writeErr(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// StreamEvent is one NDJSON line of a progress stream. The final line
+// of a stream carries the job's terminal state.
+type StreamEvent struct {
+	ID       string   `json:"id"`
+	State    State    `json:"state"`
+	Progress Progress `json:"progress"`
+	Error    string   `json:"error,omitempty"`
+}
+
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, unsub, err := s.Subscribe(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	defer unsub()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(p Progress) bool {
+		st, err := s.Get(id)
+		if err != nil {
+			return false
+		}
+		ev := StreamEvent{ID: id, State: st.State, Progress: p, Error: st.Error}
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p, ok := <-ch:
+			if !ok {
+				// Terminal: emit one final event with the closing state.
+				if st, err := s.Get(id); err == nil {
+					emit(st.Progress)
+				}
+				return
+			}
+			if !emit(p) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(s.metrics.Render()))
+}

@@ -1,0 +1,302 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (*http.Response, Status) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: %d", id, resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func cancelJob(t *testing.T, ts *httptest.Server, id string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/v1/jobs/"+id+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+func fetchMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestDaemonEndToEnd drives the whole job lifecycle through the HTTP
+// API: 4 concurrent jobs on a 2-worker pool with a 2-deep queue, 429
+// beyond the bound, NDJSON streaming, cancellation of queued and
+// running jobs, result retrieval, and the metrics reflecting it all.
+func TestDaemonEndToEnd(t *testing.T) {
+	clock := NewFakeClock(time.Unix(2_000_000, 0))
+	svc := startService(t, Options{Workers: 2, QueueDepth: 2, Clock: clock})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Health first.
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+
+	// j1, j2: long-running; wait for each to occupy a worker so the
+	// admission picture is deterministic.
+	_, j1 := postJob(t, ts, longSpec())
+	waitUntil(t, "j1 running", func() bool { return getStatus(t, ts, j1.ID).State == StateRunning })
+	_, j2 := postJob(t, ts, longSpec())
+	waitUntil(t, "j2 running", func() bool { return getStatus(t, ts, j2.ID).State == StateRunning })
+
+	// j3, j4 fill the queue; j5 must bounce with 429.
+	_, j3 := postJob(t, ts, shortSpec(3))
+	_, j4 := postJob(t, ts, shortSpec(3))
+	resp, _ := postJob(t, ts, shortSpec(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("5th submit: want 429, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	// The list endpoint sees all four, in order, with the right states.
+	listResp, err := http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Status
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(list) != 4 {
+		t.Fatalf("want 4 jobs listed, got %d", len(list))
+	}
+	wantStates := map[string]State{j1.ID: StateRunning, j2.ID: StateRunning, j3.ID: StateQueued, j4.ID: StateQueued}
+	for _, st := range list {
+		if st.State != wantStates[st.ID] {
+			t.Errorf("job %s: state %v, want %v", st.ID, st.State, wantStates[st.ID])
+		}
+	}
+
+	// Stream j1 progress as NDJSON: steps must advance monotonically.
+	streamResp, err := http.Get(ts.URL + "/api/v1/jobs/" + j1.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := streamResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	scanner := bufio.NewScanner(streamResp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var events []StreamEvent
+	for len(events) < 3 && scanner.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 3 {
+		t.Fatalf("stream ended early: %v", scanner.Err())
+	}
+	for i, ev := range events {
+		if ev.ID != j1.ID || ev.State != StateRunning {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+		if i > 0 && ev.Progress.Step < events[i-1].Progress.Step {
+			t.Fatalf("steps regressed: %+v -> %+v", events[i-1], ev)
+		}
+	}
+
+	// Cancel j3 while it is still queued (both workers are busy):
+	// immediate terminal state, no worker involved.
+	if resp := cancelJob(t, ts, j3.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel j3: %d", resp.StatusCode)
+	}
+	if st := getStatus(t, ts, j3.ID); st.State != StateCanceled {
+		t.Fatalf("j3 state %v", st.State)
+	}
+	// Canceling again conflicts.
+	if resp := cancelJob(t, ts, j3.ID); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel: want 409, got %d", resp.StatusCode)
+	}
+
+	// Cancel j1 while its stream is open: the stream must end with a
+	// terminal event.
+	if resp := cancelJob(t, ts, j1.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel j1: %d", resp.StatusCode)
+	}
+	var last StreamEvent
+	for scanner.Scan() {
+		if err := json.Unmarshal(scanner.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamResp.Body.Close()
+	if last.State != StateCanceled {
+		t.Fatalf("final stream event state %v, want canceled", last.State)
+	}
+
+	// With j1's worker free, j4 drains the queue and completes.
+	waitUntil(t, "j4 done", func() bool { return getStatus(t, ts, j4.ID).State == StateDone })
+
+	// Result endpoint: 200 for done, 409 for running, 404 for unknown.
+	resResp, err := http.Get(ts.URL + "/api/v1/jobs/" + j4.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := json.NewDecoder(resResp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resResp.Body.Close()
+	if resResp.StatusCode != http.StatusOK || res.Steps != 3 || len(res.Bodies) != 96 {
+		t.Fatalf("j4 result: %d %+v", resResp.StatusCode, res)
+	}
+	if r, _ := http.Get(ts.URL + "/api/v1/jobs/" + j2.ID + "/result"); r.StatusCode != http.StatusConflict {
+		t.Fatalf("running job result: want 409, got %d", r.StatusCode)
+	}
+	if r, _ := http.Get(ts.URL + "/api/v1/jobs/zzz/result"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job result: want 404, got %d", r.StatusCode)
+	}
+
+	// Streaming a finished job returns exactly one terminal event.
+	doneStream, err := http.Get(ts.URL + "/api/v1/jobs/" + j4.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneLines := 0
+	doneScanner := bufio.NewScanner(doneStream.Body)
+	var doneEv StreamEvent
+	for doneScanner.Scan() {
+		doneLines++
+		if err := json.Unmarshal(doneScanner.Bytes(), &doneEv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doneStream.Body.Close()
+	if doneLines != 1 || doneEv.State != StateDone || doneEv.Progress.Step != 3 {
+		t.Fatalf("finished-job stream: %d lines, last %+v", doneLines, doneEv)
+	}
+
+	// Wind down j2 and check the lifecycle counters.
+	cancelJob(t, ts, j2.ID)
+	waitUntil(t, "j2 canceled", func() bool { return getStatus(t, ts, j2.ID).State == StateCanceled })
+
+	clock.Advance(10 * time.Second) // give rate gauges a finite window
+	metrics := fetchMetrics(t, ts)
+	for _, want := range []string{
+		"nbodyd_jobs_submitted_total 4",
+		"nbodyd_jobs_rejected_total 1",
+		"nbodyd_jobs_done_total 1",
+		"nbodyd_jobs_canceled_total 3",
+		"nbodyd_jobs_running 0",
+		"nbodyd_jobs_queued 0",
+		"nbodyd_workers 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if !strings.Contains(metrics, "nbodyd_steps_per_second") {
+		t.Error("metrics missing steps_per_second gauge")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	svc := startService(t, Options{Workers: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: want 400, got %d", resp.StatusCode)
+	}
+
+	// Unknown field (typo protection).
+	resp, err = http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(`{"particles": 100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: want 400, got %d", resp.StatusCode)
+	}
+
+	// Invalid spec value.
+	resp, _ = postJob(t, ts, JobSpec{Scheme: "mpi"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad scheme: want 400, got %d", resp.StatusCode)
+	}
+
+	// Unknown job ID.
+	for _, path := range []string{"/api/v1/jobs/zzz", "/api/v1/jobs/zzz/stream"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: want 404, got %d", path, r.StatusCode)
+		}
+	}
+}

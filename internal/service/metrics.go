@@ -1,0 +1,94 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates service counters and gauges. All fields are atomic
+// so workers update them without coordination; the /metrics endpoint
+// renders them in Prometheus text exposition format under the
+// nbodyd_ prefix.
+type Metrics struct {
+	start time.Time
+	clock Clock
+
+	JobsSubmitted  atomic.Int64 // accepted submissions
+	JobsRejected   atomic.Int64 // 429s at the queue
+	JobsInvalid    atomic.Int64 // 400s at validation
+	JobsResumed    atomic.Int64 // jobs recovered from the spool
+	JobsDone       atomic.Int64
+	JobsFailed     atomic.Int64
+	JobsCanceled   atomic.Int64
+	JobsQueued     atomic.Int64 // gauge
+	JobsRunning    atomic.Int64 // gauge
+	Workers        atomic.Int64 // gauge (pool size)
+	StepsTotal     atomic.Int64
+	Checkpoints    atomic.Int64
+	CheckpointByte atomic.Int64
+	machineMicros  atomic.Int64 // simulated machine time, microseconds
+}
+
+func newMetrics(clock Clock) *Metrics {
+	return &Metrics{start: clock.Now(), clock: clock}
+}
+
+// AddMachineTime accumulates simulated machine seconds.
+func (m *Metrics) AddMachineTime(sec float64) {
+	m.machineMicros.Add(int64(sec * 1e6))
+}
+
+// Render writes the exposition text. Lines are sorted by metric name so
+// the output is diff-stable.
+func (m *Metrics) Render() string {
+	uptime := m.clock.Now().Sub(m.start).Seconds()
+	stepsPerSec := 0.0
+	if uptime > 0 {
+		stepsPerSec = float64(m.StepsTotal.Load()) / uptime
+	}
+	rows := map[string]string{
+		"nbodyd_jobs_submitted_total":    fmt.Sprintf("%d", m.JobsSubmitted.Load()),
+		"nbodyd_jobs_rejected_total":     fmt.Sprintf("%d", m.JobsRejected.Load()),
+		"nbodyd_jobs_invalid_total":      fmt.Sprintf("%d", m.JobsInvalid.Load()),
+		"nbodyd_jobs_resumed_total":      fmt.Sprintf("%d", m.JobsResumed.Load()),
+		"nbodyd_jobs_done_total":         fmt.Sprintf("%d", m.JobsDone.Load()),
+		"nbodyd_jobs_failed_total":       fmt.Sprintf("%d", m.JobsFailed.Load()),
+		"nbodyd_jobs_canceled_total":     fmt.Sprintf("%d", m.JobsCanceled.Load()),
+		"nbodyd_jobs_queued":             fmt.Sprintf("%d", m.JobsQueued.Load()),
+		"nbodyd_jobs_running":            fmt.Sprintf("%d", m.JobsRunning.Load()),
+		"nbodyd_workers":                 fmt.Sprintf("%d", m.Workers.Load()),
+		"nbodyd_worker_utilization":      fmt.Sprintf("%.4f", m.utilization()),
+		"nbodyd_steps_total":             fmt.Sprintf("%d", m.StepsTotal.Load()),
+		"nbodyd_steps_per_second":        fmt.Sprintf("%.4f", stepsPerSec),
+		"nbodyd_checkpoints_total":       fmt.Sprintf("%d", m.Checkpoints.Load()),
+		"nbodyd_checkpoint_bytes_total":  fmt.Sprintf("%d", m.CheckpointByte.Load()),
+		"nbodyd_machine_seconds_total":   fmt.Sprintf("%.6f", float64(m.machineMicros.Load())/1e6),
+		"nbodyd_uptime_seconds":          fmt.Sprintf("%.3f", uptime),
+	}
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		kind := "counter"
+		if !strings.HasSuffix(name, "_total") {
+			kind = "gauge"
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s %s\n", name, kind, name, rows[name])
+	}
+	return b.String()
+}
+
+// utilization is busy workers over pool size.
+func (m *Metrics) utilization() float64 {
+	w := m.Workers.Load()
+	if w == 0 {
+		return 0
+	}
+	return float64(m.JobsRunning.Load()) / float64(w)
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestResumeAfterRestart kills a daemon mid-job (in process), restarts
+// against the same spool directory, and asserts the job completes from
+// its last checkpoint with a final particle state bit-identical to an
+// uninterrupted run of the same spec.
+//
+// SPSA is used deliberately: its partitioning and assignment are fully
+// determined by the current particle positions, so a resumed run follows
+// the exact trajectory of an uninterrupted one. (SPDA/DPDA rebalance
+// from measured loads, which a restart resets; they resume physically
+// but not bitwise.)
+func TestResumeAfterRestart(t *testing.T) {
+	spool := t.TempDir()
+	spec := JobSpec{
+		Dist: "plummer", N: 200, Processors: 4, Scheme: "spsa",
+		Machine: "ideal", Steps: 200, Eps: 0.05, DT: 0.01, Seed: 7,
+		CheckpointEvery: 1,
+	}
+
+	// Reference: the same spec run uninterrupted through the library.
+	refSpec := spec
+	if err := refSpec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	refSim, err := refSpec.NewSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSim.Run(refSpec.Steps)
+	refBodies := refSim.Bodies()
+
+	// Daemon A: submit and let it get partway in.
+	svcA, err := New(Options{Workers: 1, SpoolDir: spool, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcA.Start()
+	tsA := httptest.NewServer(svcA.Handler())
+	_, job := postJob(t, tsA, spec)
+	waitUntil(t, "job past step 5", func() bool {
+		return getStatus(t, tsA, job.ID).Progress.Step >= 5
+	})
+
+	// "Kill" daemon A: stop HTTP, drain the worker. The worker writes a
+	// final checkpoint and leaves the job unfinished in the spool.
+	tsA.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svcA.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	interrupted, err := svcA.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interrupted.Progress.Step >= spec.Steps {
+		t.Fatalf("job finished (step %d) before the restart; nothing to resume", interrupted.Progress.Step)
+	}
+
+	// Daemon B on the same spool: the job must come back with the same
+	// ID, resume from a checkpoint, and run to completion.
+	svcB, err := New(Options{Workers: 1, SpoolDir: spool, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svcB.Get(job.ID)
+	if err != nil {
+		t.Fatalf("job not recovered from spool: %v", err)
+	}
+	if st.ResumedFrom < 1 {
+		t.Fatalf("recovered job did not resume from a checkpoint: %+v", st)
+	}
+	if got := svcB.Metrics().JobsResumed.Load(); got != 1 {
+		t.Fatalf("resumed counter %d", got)
+	}
+	svcB.Start()
+	tsB := httptest.NewServer(svcB.Handler())
+	defer tsB.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svcB.Shutdown(ctx)
+	}()
+	waitUntil(t, "resumed job done", func() bool {
+		return getStatus(t, tsB, job.ID).State == StateDone
+	})
+
+	// The resumed result must be bit-identical to the uninterrupted run.
+	resp, err := http.Get(tsB.URL + "/api/v1/jobs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != spec.Steps {
+		t.Fatalf("resumed job ran %d steps, want %d", res.Steps, spec.Steps)
+	}
+	if len(res.Bodies) != len(refBodies) {
+		t.Fatalf("body count %d vs %d", len(res.Bodies), len(refBodies))
+	}
+	for i := range refBodies {
+		if res.Bodies[i] != refBodies[i] {
+			t.Fatalf("body %d differs after resume:\n resumed %+v\n reference %+v",
+				i, res.Bodies[i], refBodies[i])
+		}
+	}
+
+	// The spool entry is gone once the job completed.
+	if jobs, _ := (&Spool{root: spool}).Scan(); len(jobs) != 0 {
+		t.Fatalf("spool not cleaned after completion: %+v", jobs)
+	}
+}
+
+// TestRecoveredWithoutCheckpointRestarts covers the demotion path: a
+// spooled spec with no usable checkpoint restarts from step zero and
+// still completes.
+func TestRecoveredWithoutCheckpointRestarts(t *testing.T) {
+	spool := t.TempDir()
+	sp, err := NewSpool(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := shortSpec(3)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.PutSpec("jlost", spec); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := startService(t, Options{Workers: 1, SpoolDir: spool})
+	waitUntil(t, "recovered job done", func() bool {
+		st, err := svc.Get("jlost")
+		return err == nil && st.State == StateDone
+	})
+	res, err := svc.Result("jlost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 3 {
+		t.Fatalf("restarted job steps %d", res.Steps)
+	}
+}
+
+// TestStreamStateStrings pins the NDJSON wire format: states are
+// lowercase strings, progress fields use snake_case keys.
+func TestStreamStateStrings(t *testing.T) {
+	data, err := json.Marshal(StreamEvent{ID: "j1", State: StateRunning, Progress: Progress{Step: 2, Steps: 5, MachineTime: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"state":"running"`, `"machine_time":0.25`, `"step":2`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("wire format missing %s: %s", want, data)
+		}
+	}
+}

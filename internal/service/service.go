@@ -1,0 +1,304 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	barneshut "repro"
+)
+
+// Errors reported by the service API layer.
+var (
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity; HTTP maps it to 429.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrNotFound is returned for unknown job IDs.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrNotDone is returned by Result for jobs that have not completed.
+	ErrNotDone = errors.New("service: job has not completed")
+	// ErrTerminal is returned by Cancel for jobs already in a terminal
+	// state.
+	ErrTerminal = errors.New("service: job already terminal")
+	// ErrShuttingDown is returned by Submit after Shutdown begins.
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs awaiting a worker beyond the
+	// running ones (default 16). Submissions beyond the bound fail with
+	// ErrQueueFull.
+	QueueDepth int
+	// SpoolDir enables checkpoint-backed resume when non-empty.
+	SpoolDir string
+	// CheckpointEvery is the default checkpoint interval in completed
+	// steps (default 10; 0 keeps the default, negative disables periodic
+	// checkpoints — shutdown still writes one).
+	CheckpointEvery int
+	// Clock substitutes a fake clock in tests (default wall clock).
+	Clock Clock
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 10
+	}
+	if o.Clock == nil {
+		o.Clock = realClock{}
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Service owns the job registry, the bounded admission queue, the
+// worker pool, the checkpoint spool, and the metrics. Construct with
+// New, start the workers with Start, and stop with Shutdown.
+type Service struct {
+	opt     Options
+	spool   *Spool
+	metrics *Metrics
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for listing
+
+	queue    chan *Job
+	stopping chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// resume maps job ID to the simulation restored from the spool.
+	resume map[string]*barneshut.Simulation
+}
+
+// New builds a Service, scanning the spool (if configured) and
+// re-queueing every interrupted job ahead of new submissions.
+func New(opt Options) (*Service, error) {
+	opt = opt.withDefaults()
+	spool, err := NewSpool(opt.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		opt:      opt,
+		spool:    spool,
+		metrics:  newMetrics(opt.Clock),
+		jobs:     make(map[string]*Job),
+		stopping: make(chan struct{}),
+		resume:   make(map[string]*barneshut.Simulation),
+	}
+	recovered, errs := spool.Scan()
+	for _, e := range errs {
+		opt.Logf("nbodyd: spool: %v", e)
+	}
+	// Size the queue so every recovered job fits ahead of QueueDepth new
+	// submissions; recovery happens before Submit can be called.
+	s.queue = make(chan *Job, opt.QueueDepth+len(recovered))
+	for _, rec := range recovered {
+		j := newJob(rec.ID, rec.Spec, opt.Clock.Now())
+		j.resumed = rec.Step
+		j.progress.Step = rec.Step
+		if rec.Sim != nil {
+			j.progress.SimTime = rec.Sim.Time()
+			s.resume[rec.ID] = rec.Sim
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.queue <- j
+		s.metrics.JobsQueued.Add(1)
+		s.metrics.JobsResumed.Add(1)
+		opt.Logf("nbodyd: recovered job %s from spool at step %d/%d", j.ID, rec.Step, rec.Spec.Steps)
+	}
+	return s, nil
+}
+
+// Metrics exposes the service counters (for the HTTP layer and tests).
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Start launches the worker pool.
+func (s *Service) Start() {
+	s.metrics.Workers.Store(int64(s.opt.Workers))
+	for i := 0; i < s.opt.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown stops admission, lets each worker finish (at most) its
+// current step, checkpoints running jobs to the spool, and waits for
+// the pool to drain or ctx to expire. Queued jobs stay in the spool and
+// are recovered by the next daemon.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stopping) })
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit validates and admits a job. It returns ErrQueueFull when the
+// queue bound is reached and ErrShuttingDown after Shutdown begins.
+func (s *Service) Submit(spec JobSpec) (Status, error) {
+	select {
+	case <-s.stopping:
+		return Status{}, ErrShuttingDown
+	default:
+	}
+	if err := spec.Validate(); err != nil {
+		s.metrics.JobsInvalid.Add(1)
+		return Status{}, fmt.Errorf("invalid job: %w", err)
+	}
+	j := newJob(newJobID(), spec, s.opt.Clock.Now())
+	if err := s.spool.PutSpec(j.ID, spec); err != nil {
+		return Status{}, fmt.Errorf("service: spooling job: %w", err)
+	}
+	s.mu.Lock()
+	select {
+	case s.queue <- j:
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.mu.Unlock()
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.JobsQueued.Add(1)
+		return j.Status(), nil
+	default:
+		s.mu.Unlock()
+		s.metrics.JobsRejected.Add(1)
+		if err := s.spool.Remove(j.ID); err != nil {
+			s.opt.Logf("nbodyd: removing rejected job %s from spool: %v", j.ID, err)
+		}
+		return Status{}, ErrQueueFull
+	}
+}
+
+// Jobs lists all known jobs in submission order.
+func (s *Service) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].Status())
+	}
+	return out
+}
+
+// Get returns one job's status.
+func (s *Service) Get(id string) (Status, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.Status(), nil
+}
+
+// Cancel requests cancellation of a queued or running job. Queued jobs
+// transition immediately; running jobs stop after the current step.
+func (s *Service) Cancel(id string) (Status, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	if !j.Cancel() {
+		return j.Status(), ErrTerminal
+	}
+	// A queued job has no worker to observe the flag; finalize it here.
+	// The spool entry goes before the state flip so a terminal state is
+	// never observable while the job could still resurrect on restart.
+	j.mu.Lock()
+	if j.state == StateQueued {
+		s.removeSpool(j.ID)
+		j.state = StateCanceled
+		j.finished = s.opt.Clock.Now()
+		j.mu.Unlock()
+		s.metrics.JobsQueued.Add(-1)
+		s.metrics.JobsCanceled.Add(1)
+		j.closeSubs()
+	} else {
+		j.mu.Unlock()
+	}
+	return j.Status(), nil
+}
+
+// Result returns the final output of a completed job.
+func (s *Service) Result(id string) (*Result, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.result == nil {
+		return nil, ErrNotDone
+	}
+	return j.result, nil
+}
+
+// Subscribe returns a progress channel for the job plus an unsubscribe
+// function. The current snapshot is delivered first; the channel closes
+// when the job reaches a terminal state (immediately, if it already has).
+func (s *Service) Subscribe(id string) (<-chan Progress, func(), error) {
+	j, ok := s.job(id)
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Already finished: hand back a closed channel so consumers fall
+		// straight through to the job's final status.
+		ch := make(chan Progress)
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}, nil
+	}
+	j.mu.Unlock()
+	ch, unsub := j.subscribe()
+	return ch, unsub, nil
+}
+
+func (s *Service) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Service) removeSpool(id string) {
+	if err := s.spool.Remove(id); err != nil {
+		s.opt.Logf("nbodyd: removing job %s from spool: %v", id, err)
+	}
+}
+
+// newJobID returns a random 12-hex-digit job ID. Randomness (not a
+// counter) keeps IDs collision-free across daemon restarts sharing a
+// spool.
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is not recoverable
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	barneshut "repro"
+)
+
+// Spool persists job state so the daemon can resume in-flight work
+// after a restart. Each job owns one directory under the spool root:
+//
+//	<root>/<jobID>/spec.json       the submitted JobSpec (written once)
+//	<root>/<jobID>/meta.json       last durable progress (step count)
+//	<root>/<jobID>/checkpoint.gob  latest simulation checkpoint
+//
+// Entries are removed when a job reaches a terminal state; whatever is
+// left in the spool at startup is, by construction, work interrupted by
+// a crash or shutdown. All writes go through a temp file and rename so a
+// crash mid-write never corrupts the previous checkpoint.
+type Spool struct {
+	root string
+}
+
+// spoolMeta is the durable progress record accompanying a checkpoint.
+type spoolMeta struct {
+	// Step is the number of completed steps at the last checkpoint.
+	Step int `json:"step"`
+}
+
+// NewSpool opens (creating if needed) a spool rooted at dir. An empty
+// dir disables persistence and returns a nil Spool, on which all
+// methods are no-ops.
+func NewSpool(dir string) (*Spool, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating spool: %w", err)
+	}
+	return &Spool{root: dir}, nil
+}
+
+func (sp *Spool) jobDir(id string) string { return filepath.Join(sp.root, id) }
+
+// PutSpec records a newly admitted job. Called before the job is
+// enqueued so a crash between admission and execution loses nothing.
+func (sp *Spool) PutSpec(id string, spec JobSpec) error {
+	if sp == nil {
+		return nil
+	}
+	if err := os.MkdirAll(sp.jobDir(id), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(sp.jobDir(id), "spec.json"), data)
+}
+
+// PutCheckpoint durably records the simulation state at the given step.
+// It returns the checkpoint size in bytes for metrics.
+func (sp *Spool) PutCheckpoint(id string, sim *barneshut.Simulation, step int) (int, error) {
+	if sp == nil {
+		return 0, nil
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteCheckpoint(&buf); err != nil {
+		return 0, err
+	}
+	n := buf.Len()
+	if err := atomicWrite(filepath.Join(sp.jobDir(id), "checkpoint.gob"), buf.Bytes()); err != nil {
+		return 0, err
+	}
+	meta, err := json.Marshal(spoolMeta{Step: step})
+	if err != nil {
+		return 0, err
+	}
+	if err := atomicWrite(filepath.Join(sp.jobDir(id), "meta.json"), meta); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Remove deletes a job's spool entry (terminal state reached).
+func (sp *Spool) Remove(id string) error {
+	if sp == nil {
+		return nil
+	}
+	return os.RemoveAll(sp.jobDir(id))
+}
+
+// Recovered is one interrupted job found in the spool at startup.
+type Recovered struct {
+	ID   string
+	Spec JobSpec
+	// Sim is the simulation restored from the latest checkpoint, or nil
+	// if the job never checkpointed (it restarts from step zero).
+	Sim *barneshut.Simulation
+	// Step is the durable completed-step count at the checkpoint.
+	Step int
+}
+
+// Scan returns every resumable job left in the spool, in directory
+// order. Entries whose spec is unreadable are skipped (and reported in
+// errs) rather than wedging startup; a corrupt checkpoint demotes the
+// job to a from-scratch restart.
+func (sp *Spool) Scan() (jobs []Recovered, errs []error) {
+	if sp == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(sp.root)
+	if err != nil {
+		return nil, []error{err}
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		id := ent.Name()
+		specData, err := os.ReadFile(filepath.Join(sp.jobDir(id), "spec.json"))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("spool job %s: %w", id, err))
+			continue
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(specData, &spec); err != nil {
+			errs = append(errs, fmt.Errorf("spool job %s: bad spec: %w", id, err))
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			errs = append(errs, fmt.Errorf("spool job %s: invalid spec: %w", id, err))
+			continue
+		}
+		rec := Recovered{ID: id, Spec: spec}
+		if ckpt, err := os.ReadFile(filepath.Join(sp.jobDir(id), "checkpoint.gob")); err == nil {
+			sim, err := barneshut.ReadCheckpoint(bytes.NewReader(ckpt))
+			if err != nil {
+				errs = append(errs, fmt.Errorf("spool job %s: checkpoint unusable, restarting from scratch: %w", id, err))
+			} else {
+				rec.Sim = sim
+				rec.Step = sim.Steps()
+				if meta, err := os.ReadFile(filepath.Join(sp.jobDir(id), "meta.json")); err == nil {
+					var m spoolMeta
+					if json.Unmarshal(meta, &m) == nil && m.Step > rec.Step {
+						// Potential-mode evaluations don't advance the
+						// simulation clock; the meta records them.
+						rec.Step = m.Step
+					}
+				}
+			}
+		}
+		jobs = append(jobs, rec)
+	}
+	return jobs, errs
+}
+
+// atomicWrite writes data to path through a temp file + rename so
+// readers never observe a partial file.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSpoolIsNoOp(t *testing.T) {
+	sp, err := NewSpool("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp != nil {
+		t.Fatal("empty dir should disable the spool")
+	}
+	if err := sp.PutSpec("x", JobSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.PutCheckpoint("x", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+	if jobs, errs := sp.Scan(); jobs != nil || errs != nil {
+		t.Fatal("nil spool scan should be empty")
+	}
+}
+
+func TestSpoolRoundTrip(t *testing.T) {
+	sp, err := NewSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Dist: "uniform", N: 64, Scheme: "spsa", Machine: "ideal", Steps: 9, Eps: 0.05}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.PutSpec("j1", spec); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := spec.NewSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(4)
+	n, err := sp.PutCheckpoint("j1", sim, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("checkpoint size %d", n)
+	}
+
+	jobs, errs := sp.Scan()
+	if len(errs) != 0 {
+		t.Fatalf("scan errors: %v", errs)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("want 1 recovered job, got %d", len(jobs))
+	}
+	rec := jobs[0]
+	if rec.ID != "j1" || rec.Step != 4 || rec.Sim == nil {
+		t.Fatalf("bad recovery: %+v", rec)
+	}
+	if rec.Spec.N != 64 || rec.Spec.Steps != 9 {
+		t.Fatalf("spec not preserved: %+v", rec.Spec)
+	}
+
+	if err := sp.Remove("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := sp.Scan(); len(jobs) != 0 {
+		t.Fatal("entry survived Remove")
+	}
+}
+
+func TestSpoolScanSkipsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := NewSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A directory without spec.json.
+	os.MkdirAll(filepath.Join(dir, "empty"), 0o755)
+	// A bad spec.
+	os.MkdirAll(filepath.Join(dir, "badspec"), 0o755)
+	os.WriteFile(filepath.Join(dir, "badspec", "spec.json"), []byte("{nope"), 0o644)
+	// A good spec with a corrupt checkpoint: recovered, from scratch.
+	spec := JobSpec{Dist: "uniform", N: 64, Machine: "ideal", Steps: 3}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.PutSpec("j1", spec); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "j1", "checkpoint.gob"), []byte("garbage"), 0o644)
+
+	jobs, errs := sp.Scan()
+	if len(jobs) != 1 || jobs[0].ID != "j1" {
+		t.Fatalf("want only j1 recovered, got %+v", jobs)
+	}
+	if jobs[0].Sim != nil || jobs[0].Step != 0 {
+		t.Fatal("corrupt checkpoint should demote to a from-scratch restart")
+	}
+	if len(errs) != 3 {
+		t.Fatalf("want 3 scan diagnostics, got %v", errs)
+	}
+}
+
+func TestMetricsRender(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1000, 0))
+	m := newMetrics(clock)
+	m.JobsSubmitted.Add(3)
+	m.StepsTotal.Add(50)
+	m.Workers.Store(2)
+	m.JobsRunning.Add(1)
+	m.AddMachineTime(1.5)
+
+	// Zero uptime must not divide by zero.
+	if out := m.Render(); !strings.Contains(out, "nbodyd_steps_per_second 0.0000") {
+		t.Fatalf("zero-uptime render:\n%s", out)
+	}
+	clock.Advance(10 * time.Second)
+	out := m.Render()
+	for _, want := range []string{
+		"nbodyd_jobs_submitted_total 3",
+		"nbodyd_steps_total 50",
+		"nbodyd_steps_per_second 5.0000",
+		"nbodyd_worker_utilization 0.5000",
+		"nbodyd_machine_seconds_total 1.500000",
+		"nbodyd_uptime_seconds 10.000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

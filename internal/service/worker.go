@@ -1,0 +1,171 @@
+package service
+
+import (
+	barneshut "repro"
+)
+
+// worker drains the queue until Shutdown. Each dequeued job runs to a
+// terminal state unless shutdown interrupts it, in which case the job is
+// checkpointed to the spool and left for the next daemon.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopping:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// claim moves a queued job to running, or reports that it should be
+// skipped (canceled while queued).
+func (s *Service) claim(j *Job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false // finalized while queued (Cancel won the race)
+	}
+	if j.canceled() {
+		s.removeSpool(j.ID)
+		j.state = StateCanceled
+		j.finished = s.opt.Clock.Now()
+		s.metrics.JobsQueued.Add(-1)
+		s.metrics.JobsCanceled.Add(1)
+		defer j.closeSubs()
+		return false
+	}
+	j.state = StateRunning
+	j.started = s.opt.Clock.Now()
+	s.metrics.JobsQueued.Add(-1)
+	s.metrics.JobsRunning.Add(1)
+	return true
+}
+
+// runJob executes one job to completion, cancellation, failure, or
+// shutdown-checkpoint.
+func (s *Service) runJob(j *Job) {
+	if !s.claim(j) {
+		return
+	}
+	spec := j.Spec
+	potential := spec.Mode == "potential"
+
+	// Resume from the spool-restored simulation when one exists.
+	s.mu.Lock()
+	sim := s.resume[j.ID]
+	delete(s.resume, j.ID)
+	s.mu.Unlock()
+	step := j.resumed
+	if sim == nil {
+		var err error
+		sim, err = spec.NewSimulation()
+		if err != nil {
+			s.fail(j, err)
+			return
+		}
+		if step > 0 && !potential {
+			// Recovered without a usable checkpoint: restart from zero.
+			step = 0
+		}
+	}
+
+	ckptEvery := spec.CheckpointEvery
+	if ckptEvery == 0 {
+		ckptEvery = s.opt.CheckpointEvery
+	}
+
+	var machineTime float64
+	for step < spec.Steps {
+		select {
+		case <-s.stopping:
+			// Graceful shutdown: persist a resume point and walk away
+			// without a terminal transition — the job is still live, just
+			// not in this process.
+			s.checkpoint(j, sim, step)
+			s.metrics.JobsRunning.Add(-1)
+			return
+		default:
+		}
+		if j.canceled() {
+			s.finish(j, StateCanceled, nil, "")
+			return
+		}
+		var res *barneshut.StepResult
+		if potential {
+			res = sim.ComputeForces()
+		} else {
+			res = sim.Step()
+		}
+		step++
+		machineTime += res.SimTime
+		s.metrics.StepsTotal.Add(1)
+		s.metrics.AddMachineTime(res.SimTime)
+		j.publish(Progress{
+			Step:        step,
+			Steps:       spec.Steps,
+			SimTime:     sim.Time(),
+			MachineTime: machineTime,
+			Efficiency:  res.Efficiency,
+			Imbalance:   res.Imbalance,
+			Phases:      res.Phases,
+			CommWords:   res.CommWords,
+		})
+		if ckptEvery > 0 && step%ckptEvery == 0 && step < spec.Steps {
+			s.checkpoint(j, sim, step)
+		}
+	}
+
+	res := &Result{
+		Steps:         step,
+		SimTime:       sim.Time(),
+		MachineTime:   machineTime,
+		KineticEnergy: sim.KineticEnergy(),
+		Bodies:        sim.Bodies(),
+	}
+	s.finish(j, StateDone, res, "")
+}
+
+// checkpoint persists the job's current simulation state to the spool.
+func (s *Service) checkpoint(j *Job, sim *barneshut.Simulation, step int) {
+	n, err := s.spool.PutCheckpoint(j.ID, sim, step)
+	if err != nil {
+		s.opt.Logf("nbodyd: checkpointing job %s: %v", j.ID, err)
+		return
+	}
+	if n > 0 {
+		s.metrics.Checkpoints.Add(1)
+		s.metrics.CheckpointByte.Add(int64(n))
+	}
+}
+
+// fail finalizes a job with an error.
+func (s *Service) fail(j *Job, err error) {
+	s.opt.Logf("nbodyd: job %s failed: %v", j.ID, err)
+	s.finish(j, StateFailed, nil, err.Error())
+}
+
+// finish moves a running job to a terminal state, updates metrics,
+// clears its spool entry, and wakes streamers. The spool entry goes
+// first: once a client can observe the terminal state, the job is
+// guaranteed not to resurrect on restart.
+func (s *Service) finish(j *Job, state State, res *Result, errMsg string) {
+	s.removeSpool(j.ID)
+	j.mu.Lock()
+	j.state = state
+	j.result = res
+	j.err = errMsg
+	j.finished = s.opt.Clock.Now()
+	j.mu.Unlock()
+	s.metrics.JobsRunning.Add(-1)
+	switch state {
+	case StateDone:
+		s.metrics.JobsDone.Add(1)
+	case StateFailed:
+		s.metrics.JobsFailed.Add(1)
+	case StateCanceled:
+		s.metrics.JobsCanceled.Add(1)
+	}
+	j.closeSubs()
+}
