@@ -10,7 +10,11 @@
 //	bhbench -table 1 -json             # machine-readable per-run results
 //
 // Known ids: 1..7, fig9, kw (Section 4.1), ship (Section 4.2),
-// binsize, lookup, ordering, treebuild (ablations).
+// binsize, lookup, ordering, treebuild (ablations), serial (host
+// wall-clock of the serial kernels — real seconds, not simulated).
+//
+// -cpuprofile/-memprofile write pprof profiles of the host process, for
+// digging into where the compute layer spends real time and memory.
 //
 // With -json, bhbench suppresses the text tables and prints a single
 // JSON document: the rendered tables plus one record per engine
@@ -23,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -47,15 +53,51 @@ type jsonTable struct {
 	Notes   []string   `json:"notes,omitempty"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main so deferred profile writers execute before the
+// process exits (os.Exit skips defers).
+func run() int {
 	var (
-		table    = flag.String("table", "all", "experiment id or 'all'")
-		scale    = flag.Float64("scale", 1.0/16, "particle-count scale relative to the paper")
-		maxProcs = flag.Int("maxprocs", 256, "cap on simulated processor counts")
-		seed     = flag.Int64("seed", 1994, "dataset generation seed")
-		asJSON   = flag.Bool("json", false, "emit a JSON document with per-run records instead of text tables")
+		table      = flag.String("table", "all", "experiment id or 'all'")
+		scale      = flag.Float64("scale", 1.0/16, "particle-count scale relative to the paper")
+		maxProcs   = flag.Int("maxprocs", 256, "cap on simulated processor counts")
+		seed       = flag.Int64("seed", 1994, "dataset generation seed")
+		asJSON     = flag.Bool("json", false, "emit a JSON document with per-run records instead of text tables")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bhbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bhbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bhbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bhbench:", err)
+			}
+		}()
+	}
 
 	opt := experiments.Options{Scale: *scale, MaxProcs: *maxProcs, Seed: *seed}
 	if *asJSON {
@@ -68,18 +110,18 @@ func main() {
 		tabs, err = experiments.All(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bhbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		fn, ok := experiments.ByID(*table)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "bhbench: unknown experiment %q\n", *table)
-			os.Exit(2)
+			return 2
 		}
 		t, err := fn(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bhbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		tabs = []experiments.Table{t}
 	}
@@ -100,13 +142,14 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(os.Stderr, "bhbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	for _, t := range tabs {
 		fmt.Println(t.Format())
 	}
 	fmt.Printf("elapsed: %.1fs (scale=%.4g, maxprocs=%d)\n",
 		elapsed, *scale, *maxProcs)
+	return 0
 }

@@ -1,0 +1,91 @@
+// Package compute is the host-parallelism layer: a worker-pool parallel
+// for-loop used by every hot path that is safe to run multi-core (direct
+// summation, serial-tree traversals, octree construction).
+//
+// Host parallelism is strictly separate from the *simulated* parallelism
+// of package msg: goroutines here make the program faster on the real
+// machine but must never change the simulated metrics (SimTime, Stats,
+// Flops, CommWords). Callers therefore shard any accumulators per worker
+// and merge them in worker order, so results are bit-identical to a
+// sequential execution regardless of GOMAXPROCS (see DESIGN.md,
+// "Two clocks").
+package compute
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers overrides the worker count when positive (set via
+// SetMaxWorkers; used by tests to force sequential execution).
+var maxWorkers atomic.Int64
+
+// SetMaxWorkers caps the number of workers used by this package (0
+// restores the GOMAXPROCS default) and returns the previous cap. It is
+// intended for tests and benchmarks that compare parallel against
+// sequential execution.
+func SetMaxWorkers(n int) int {
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// Workers returns the number of workers a loop of n iterations will use:
+// min(GOMAXPROCS, n), further capped by SetMaxWorkers.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if cap := int(maxWorkers.Load()); cap > 0 && w > cap {
+		w = cap
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParallelFor runs body(i) for i in [0, n) across Workers(n) goroutines
+// in contiguous blocks. body must not assume any cross-iteration order.
+func ParallelFor(n int, body func(i int)) {
+	ParallelBlocks(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ParallelBlocks partitions [0, n) into Workers(n) contiguous blocks and
+// runs body(worker, lo, hi) for each, one goroutine per worker. Worker
+// ids are dense in [0, Workers(n)), so callers can keep per-worker
+// accumulators and merge them deterministically (in worker order) after
+// the call returns. With one worker the body runs on the calling
+// goroutine, so a sequential execution is exactly the w=0 block.
+func ParallelBlocks(n int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers(n)
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package compute
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 10007} {
+		var sum atomic.Int64
+		seen := make([]atomic.Bool, n)
+		ParallelFor(n, func(i int) {
+			if seen[i].Swap(true) {
+				t.Errorf("n=%d: index %d visited twice", n, i)
+			}
+			sum.Add(int64(i))
+		})
+		want := int64(n) * int64(n-1) / 2
+		if sum.Load() != want {
+			t.Fatalf("n=%d: sum = %d, want %d", n, sum.Load(), want)
+		}
+	}
+}
+
+func TestParallelBlocksDenseWorkerIDs(t *testing.T) {
+	const n = 1000
+	w := Workers(n)
+	counts := make([]atomic.Int64, w)
+	ParallelBlocks(n, func(worker, lo, hi int) {
+		if worker < 0 || worker >= w {
+			t.Errorf("worker id %d out of range [0,%d)", worker, w)
+			return
+		}
+		counts[worker].Add(int64(hi - lo))
+	})
+	var total int64
+	for i := range counts {
+		total += counts[i].Load()
+	}
+	if total != n {
+		t.Fatalf("covered %d of %d iterations", total, n)
+	}
+}
+
+func TestSetMaxWorkersForcesSequential(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	if w := Workers(1000); w != 1 {
+		t.Fatalf("Workers = %d with cap 1", w)
+	}
+	// With one worker the body must run on the calling goroutine in order.
+	var order []int
+	ParallelFor(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order violated: %v", order)
+		}
+	}
+}
+
+func TestParallelBlocksEmpty(t *testing.T) {
+	called := false
+	ParallelBlocks(0, func(_, _, _ int) { called = true })
+	if called {
+		t.Fatal("body called for n=0")
+	}
+}

@@ -5,9 +5,7 @@
 package direct
 
 import (
-	"runtime"
-	"sync"
-
+	"repro/internal/compute"
 	"repro/internal/dist"
 	"repro/internal/phys"
 	"repro/internal/vec"
@@ -51,7 +49,7 @@ func Potentials(ps []dist.Particle, eps float64) []float64 {
 // identical to Accels (same summation order per particle).
 func AccelsParallel(ps []dist.Particle, eps float64) []vec.V3 {
 	out := make([]vec.V3, len(ps))
-	parallelFor(len(ps), func(i int) {
+	compute.ParallelFor(len(ps), func(i int) {
 		var a vec.V3
 		for j := range ps {
 			if i == j {
@@ -67,7 +65,7 @@ func AccelsParallel(ps []dist.Particle, eps float64) []vec.V3 {
 // PotentialsParallel computes Potentials using all available cores.
 func PotentialsParallel(ps []dist.Particle, eps float64) []float64 {
 	out := make([]float64, len(ps))
-	parallelFor(len(ps), func(i int) {
+	compute.ParallelFor(len(ps), func(i int) {
 		var phi float64
 		for j := range ps {
 			if i == j {
@@ -92,39 +90,4 @@ func TotalEnergy(ps []dist.Particle, eps float64) float64 {
 		}
 	}
 	return ke + pe
-}
-
-// parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers in
-// contiguous blocks.
-func parallelFor(n int, body func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }

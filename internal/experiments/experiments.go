@@ -279,6 +279,7 @@ func All(opt Options) ([]Table, error) {
 		{"ordering", OrderingTable},
 		{"treebuild", TreeBuildTable},
 		{"fmm", FMMTable},
+		{"serial", SerialTable},
 	}
 	var out []Table
 	for _, g := range gens {
@@ -310,6 +311,7 @@ func ByID(id string) (func(Options) (Table, error), bool) {
 		"ordering":  OrderingTable,
 		"treebuild": TreeBuildTable,
 		"fmm":       FMMTable,
+		"serial":    SerialTable,
 	}
 	fn, ok := m[id]
 	return fn, ok

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/tree"
+)
+
+// SerialTable measures host wall-clock of the serial-code hot paths:
+// octree construction and full force sweeps over every particle. Unlike
+// every other experiment it reports *real* seconds, not simulated ones —
+// the simulated machine clock is flop-charged and cannot see host-side
+// optimizations (arenas, radix sorts, multi-core traversals), which is
+// exactly why CI tracks these numbers across commits (BENCH_serial.json)
+// to catch regressions in the compute layer.
+func SerialTable(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	tab := Table{
+		ID:      "serial",
+		Title:   "host wall-clock of serial kernels (real seconds, not simulated)",
+		Columns: []string{"n", "gomaxprocs", "build_ms", "keyed_build_ms", "force_ms", "interactions"},
+		Notes: []string{
+			"build/force are best-of-3 wall times on this host; all other tables report simulated machine times",
+		},
+	}
+	// Fixed host-benchmark sizes, scaled like the paper datasets so the
+	// table stays cheap at reduced scales.
+	for _, base := range []int{20000, 100000} {
+		n := int(float64(base) * opt.Scale * 16)
+		if n < 1000 {
+			n = 1000
+		}
+		s, err := dist.Named("g", n, opt.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+
+		build := bestOf(3, func() {
+			tree.Build(s.Particles, tree.Options{LeafCap: 8, Domain: s.Domain})
+		})
+		keyed := bestOf(3, func() {
+			tree.BuildKeyed(s.Particles, s.Domain, 8)
+		})
+		tr := tree.Build(s.Particles, tree.Options{LeafCap: 8, Domain: s.Domain})
+		var stats tree.Stats
+		force := bestOf(3, func() {
+			_, stats = tr.AccelAll(s.Particles, 0.67, 0.01)
+		})
+
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(len(s.Particles)),
+			fmt.Sprint(runtime.GOMAXPROCS(0)),
+			f2(build.Seconds() * 1e3),
+			f2(keyed.Seconds() * 1e3),
+			f2(force.Seconds() * 1e3),
+			fmt.Sprint(stats.Interactions()),
+		})
+		recordHost("tree-build", len(s.Particles), build)
+		recordHost("tree-build-keyed", len(s.Particles), keyed)
+		recordHost("force-sweep", len(s.Particles), force)
+	}
+	return tab, nil
+}
+
+// bestOf runs fn reps times and returns the fastest wall time.
+func bestOf(reps int, fn func()) time.Duration {
+	var best time.Duration
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// recordHost emits a host wall-clock Record (Scheme "host"; SimSeconds
+// stays zero because no simulated machine is involved).
+func recordHost(kind string, n int, wall time.Duration) {
+	recorder.Lock()
+	defer recorder.Unlock()
+	if !recorder.active {
+		return
+	}
+	recorder.recs = append(recorder.recs, Record{
+		Scheme:      "host",
+		Mode:        kind,
+		N:           n,
+		P:           runtime.GOMAXPROCS(0),
+		Machine:     "host",
+		WallSeconds: wall.Seconds(),
+	})
+}

@@ -1,0 +1,68 @@
+package keys
+
+// KeyIdx pairs a full-resolution Morton key with the particle's ID (the
+// sort tie-break) and its position in the source slice (so callers can
+// apply the resulting permutation). Keys are computed exactly once by the
+// caller and carried through the sort, replacing comparator-recomputed
+// keys in the hot Morton-ordering paths.
+type KeyIdx struct {
+	Key uint64
+	ID  int32
+	Idx int32
+}
+
+// SortKeyIdx sorts pairs by (Key, ID) ascending with a least-significant-
+// digit radix sort over 8-bit digits: four passes over the ID bytes
+// followed by eight passes over the Key bytes, each pass stable, so the
+// final order is exactly that of a stable comparison sort on (Key, ID).
+// Digit columns that are constant across the slice are skipped, which in
+// practice prunes most ID passes and the unused high Key bytes. scratch
+// is reused as the ping-pong buffer when it has sufficient capacity;
+// pass nil to allocate internally. IDs must be non-negative.
+func SortKeyIdx(pairs, scratch []KeyIdx) {
+	n := len(pairs)
+	if n < 2 {
+		return
+	}
+	if cap(scratch) < n {
+		scratch = make([]KeyIdx, n)
+	}
+	scratch = scratch[:n]
+	src, dst := pairs, scratch
+	for pass := 0; pass < 12; pass++ {
+		var shift uint
+		fromKey := pass >= 4
+		if fromKey {
+			shift = 8 * uint(pass-4)
+		} else {
+			shift = 8 * uint(pass)
+		}
+		digit := func(p *KeyIdx) byte {
+			if fromKey {
+				return byte(p.Key >> shift)
+			}
+			return byte(uint32(p.ID) >> shift)
+		}
+		var counts [256]int
+		for i := range src {
+			counts[digit(&src[i])]++
+		}
+		if counts[digit(&src[0])] == n {
+			continue // constant column: a stable pass would be the identity
+		}
+		var offs [256]int
+		for d, sum := 0, 0; d < 256; d++ {
+			offs[d] = sum
+			sum += counts[d]
+		}
+		for i := range src {
+			d := digit(&src[i])
+			dst[offs[d]] = src[i]
+			offs[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+}

@@ -1,0 +1,121 @@
+package keys
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSort is the comparison-sort reference: stable sort by (Key, ID).
+func refSort(pairs []KeyIdx) {
+	sort.SliceStable(pairs, func(a, b int) bool {
+		if pairs[a].Key != pairs[b].Key {
+			return pairs[a].Key < pairs[b].Key
+		}
+		return pairs[a].ID < pairs[b].ID
+	})
+}
+
+func randomPairs(rng *rand.Rand, n int, keySpread uint64, idSpread int32) []KeyIdx {
+	pairs := make([]KeyIdx, n)
+	for i := range pairs {
+		pairs[i] = KeyIdx{
+			Key: rng.Uint64() % keySpread,
+			ID:  rng.Int31n(idSpread),
+			Idx: int32(i),
+		}
+	}
+	return pairs
+}
+
+func TestSortKeyIdxMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		n         int
+		keySpread uint64
+		idSpread  int32
+	}{
+		{0, 1, 1},
+		{1, 1, 1},
+		{2, 2, 2},
+		{100, 10, 1 << 30},       // many duplicate keys: ID tie-break exercised
+		{1000, 1 << 63, 1 << 30}, // full-width keys
+		{5000, 1 << 20, 4},       // duplicate (Key, ID) pairs: stability on Idx
+		{257, 256, 256},
+	}
+	for _, c := range cases {
+		pairs := randomPairs(rng, c.n, c.keySpread, c.idSpread)
+		want := append([]KeyIdx(nil), pairs...)
+		refSort(want)
+		SortKeyIdx(pairs, nil)
+		for i := range pairs {
+			if pairs[i] != want[i] {
+				t.Fatalf("n=%d spread=%d: index %d: got %+v want %+v",
+					c.n, c.keySpread, i, pairs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortKeyIdxReusesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pairs := randomPairs(rng, 777, 1<<40, 1<<20)
+	want := append([]KeyIdx(nil), pairs...)
+	refSort(want)
+	scratch := make([]KeyIdx, 2000) // oversized scratch must work
+	SortKeyIdx(pairs, scratch)
+	for i := range pairs {
+		if pairs[i] != want[i] {
+			t.Fatalf("index %d: got %+v want %+v", i, pairs[i], want[i])
+		}
+	}
+}
+
+func TestSortKeyIdxAllEqual(t *testing.T) {
+	pairs := make([]KeyIdx, 64)
+	for i := range pairs {
+		pairs[i] = KeyIdx{Key: 42, ID: 7, Idx: int32(i)}
+	}
+	SortKeyIdx(pairs, nil)
+	for i := range pairs {
+		if pairs[i].Idx != int32(i) {
+			t.Fatalf("stability violated at %d: %+v", i, pairs[i])
+		}
+	}
+}
+
+func TestSortKeyIdxSortedInput(t *testing.T) {
+	pairs := make([]KeyIdx, 500)
+	for i := range pairs {
+		pairs[i] = KeyIdx{Key: uint64(i) << 3, ID: int32(i), Idx: int32(i)}
+	}
+	SortKeyIdx(pairs, nil)
+	for i := range pairs {
+		if pairs[i].Idx != int32(i) {
+			t.Fatalf("sorted input perturbed at %d", i)
+		}
+	}
+}
+
+func BenchmarkSortKeyIdx(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pairs := randomPairs(rng, 100000, 1<<63, 1<<30)
+	scratch := make([]KeyIdx, len(pairs))
+	work := make([]KeyIdx, len(pairs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, pairs)
+		SortKeyIdx(work, scratch)
+	}
+}
+
+func BenchmarkSortSliceStableKeys(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pairs := randomPairs(rng, 100000, 1<<63, 1<<30)
+	work := make([]KeyIdx, len(pairs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, pairs)
+		refSort(work)
+	}
+}

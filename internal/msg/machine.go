@@ -130,12 +130,25 @@ type message struct {
 	arrival  float64 // simulated arrival time at the receiver
 }
 
-// mailbox is an unbounded tag-matched message queue.
+// mailbox is an unbounded tag-matched message queue. Messages are held
+// in arrival order in a sliding window over the backing slice: head marks
+// the first live entry, a message matched out of the middle becomes a
+// tombstone skipped by later scans, and the window compacts when it
+// drains or tombstones dominate. Removal is therefore O(scan) with no
+// per-take memmove of the queue tail, while the first-match-in-arrival-
+// order semantics are unchanged.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []message
+	queue   []mailEntry
+	head    int // index of the first live entry
+	dead    int // tombstones in [head, len(queue))
 	stopped bool
+}
+
+type mailEntry struct {
+	msg  message
+	live bool
 }
 
 func newMailbox() *mailbox {
@@ -146,7 +159,7 @@ func newMailbox() *mailbox {
 
 func (mb *mailbox) put(m message) {
 	mb.mu.Lock()
-	mb.queue = append(mb.queue, m)
+	mb.queue = append(mb.queue, mailEntry{msg: m, live: true})
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
 }
@@ -159,22 +172,53 @@ func (mb *mailbox) take(src, tag int, block bool) (message, bool) {
 	}, block)
 }
 
-// takeWhere removes and returns the first message satisfying pred.
+// takeWhere removes and returns the first message (in arrival order)
+// satisfying pred.
 func (mb *mailbox) takeWhere(pred func(*message) bool, block bool) (message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
-		for i := range mb.queue {
-			if pred(&mb.queue[i]) {
-				m := mb.queue[i]
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				return m, true
+		for i := mb.head; i < len(mb.queue); i++ {
+			e := &mb.queue[i]
+			if !e.live || !pred(&e.msg) {
+				continue
 			}
+			m := e.msg
+			e.live = false
+			e.msg = message{} // release the payload reference
+			mb.dead++
+			mb.collect()
+			return m, true
 		}
 		if !block || mb.stopped {
 			return message{}, false
 		}
 		mb.cond.Wait()
+	}
+}
+
+// collect advances head past leading tombstones and compacts the window
+// when it drains completely or tombstones outnumber live entries.
+func (mb *mailbox) collect() {
+	for mb.head < len(mb.queue) && !mb.queue[mb.head].live {
+		mb.head++
+		mb.dead--
+	}
+	if mb.head == len(mb.queue) {
+		mb.queue = mb.queue[:0]
+		mb.head = 0
+		return
+	}
+	if mb.dead >= 32 && 2*mb.dead > len(mb.queue)-mb.head {
+		w := 0
+		for i := mb.head; i < len(mb.queue); i++ {
+			if mb.queue[i].live {
+				mb.queue[w] = mb.queue[i]
+				w++
+			}
+		}
+		mb.queue = mb.queue[:w]
+		mb.head, mb.dead = 0, 0
 	}
 }
 
@@ -259,6 +303,7 @@ func (m *Machine) Run(body func(*Proc)) []Stats {
 		b.mu.Lock()
 		b.stopped = false
 		b.queue = b.queue[:0]
+		b.head, b.dead = 0, 0
 		b.mu.Unlock()
 	}
 	return stats

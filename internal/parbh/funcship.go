@@ -159,7 +159,7 @@ func (r *shipRun) sendBin(dst int) {
 		r.serviceOne(true)
 	}
 	bin := r.bins[dst]
-	r.bins[dst] = reqBin{}
+	r.bins[dst] = reqBin{Entries: reqEntryPool.get(0)}
 	r.pr.Send(dst, tagRequest, bin, reqEntryWords*len(bin.Entries)+1)
 	r.outstanding[dst] = true
 	r.pendingReps++
@@ -206,6 +206,9 @@ func (r *shipRun) serviceOne(block bool) bool {
 				r.slotP[s] = rep.P[i]
 			}
 		}
+		slotPool.put(rep.Slots)
+		vec3Pool.put(rep.F)
+		f64Pool.put(rep.P)
 		r.outstanding[from] = false
 		r.pendingReps--
 	case tagDoneUp:
@@ -222,18 +225,25 @@ func (r *shipRun) serviceOne(block bool) bool {
 // where the data is.
 func (r *shipRun) serve(bin reqBin, from int) {
 	cfg := r.e.cfg
-	rep := repBin{Slots: make([]int32, len(bin.Entries))}
+	rep := repBin{Slots: slotPool.get(len(bin.Entries))}
 	if cfg.Mode == ForceMode {
-		rep.F = make([]vec.V3, len(bin.Entries))
+		rep.F = vec3Pool.get(len(bin.Entries))
 	} else {
-		rep.P = make([]float64, len(bin.Entries))
+		rep.P = f64Pool.get(len(bin.Entries))
 	}
 	for i, en := range bin.Entries {
 		rep.Slots[i] = en.Slot
 		node := r.st.lookup.find(en.Key)
 		r.pr.Compute(r.st.lookup.cost())
 		if node == nil {
-			continue // empty branch (race with zero-count summaries)
+			// Empty branch (race with zero-count summaries). Pooled reply
+			// buffers carry stale values, so zero the slot explicitly.
+			if cfg.Mode == ForceMode {
+				rep.F[i] = vec.V3{}
+			} else {
+				rep.P[i] = 0
+			}
+			continue
 		}
 		var s tree.Stats
 		if cfg.Mode == ForceMode {
@@ -248,6 +258,7 @@ func (r *shipRun) serve(bin reqBin, from int) {
 	if cfg.Mode == ForceMode {
 		words = 3*len(bin.Entries) + 1
 	}
+	reqEntryPool.put(bin.Entries)
 	r.pr.Send(from, tagReply, rep, words)
 }
 

@@ -1,0 +1,98 @@
+package parbh
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/msg"
+	"repro/internal/tree"
+)
+
+// The host-performance layer (multi-core traversals, radix sorts, arenas,
+// buffer pools) must never perturb the paper-facing *simulated* metrics.
+// These tests pin that invariant two ways: the counters that are exact by
+// construction — interaction Stats, communication words/messages, branch
+// counts, and the force results themselves — must be bit-identical across
+// host parallelism levels, and must match golden values recorded before
+// the host optimizations landed.
+//
+// SimTime and Imbalance are deliberately not compared bit-exactly: the
+// function-shipping protocol polls for remote work between particles, so
+// per-processor *waiting* time depends on host scheduling. That jitter
+// predates the host-performance layer (it is observable run-to-run on a
+// fixed GOMAXPROCS) and is bounded by the polling granularity; the
+// flop-charged compute clock underneath is exact.
+
+func stepOnce(t *testing.T, scheme Scheme) *Result {
+	t.Helper()
+	s := dist.MustNamed("g", 3000, 99)
+	m := msg.NewMachine(8, msg.CM5())
+	e, err := New(m, s, Config{Scheme: scheme, Mode: ForceMode, Alpha: 0.67, Eps: 0.01, GridLog2: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Step()
+}
+
+func TestStepInvariantUnderHostParallelism(t *testing.T) {
+	for _, scheme := range []Scheme{SPSA, SPDA, DPDA} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			old := runtime.GOMAXPROCS(1)
+			seq := stepOnce(t, scheme)
+			runtime.GOMAXPROCS(4)
+			par := stepOnce(t, scheme)
+			runtime.GOMAXPROCS(old)
+
+			if seq.Stats != par.Stats {
+				t.Errorf("stats differ: gomaxprocs=1 %+v gomaxprocs=4 %+v", seq.Stats, par.Stats)
+			}
+			if seq.CommWords != par.CommWords || seq.CommMessages != par.CommMessages {
+				t.Errorf("comm differs: %d/%d vs %d/%d",
+					seq.CommWords, seq.CommMessages, par.CommWords, par.CommMessages)
+			}
+			if seq.BranchNodes != par.BranchNodes {
+				t.Errorf("branch nodes differ: %d vs %d", seq.BranchNodes, par.BranchNodes)
+			}
+			for i := range seq.Accels {
+				if seq.Accels[i] != par.Accels[i] {
+					t.Fatalf("accel %d differs: %v vs %v", i, seq.Accels[i], par.Accels[i])
+				}
+			}
+			if len(seq.Phases) != len(par.Phases) {
+				t.Errorf("phase sets differ: %v vs %v", seq.Phases, par.Phases)
+			}
+			if seq.SimTime <= 0 || par.SimTime <= 0 {
+				t.Errorf("non-positive sim time: %v, %v", seq.SimTime, par.SimTime)
+			}
+		})
+	}
+}
+
+// TestStepSimulatedMetricsGolden pins the simulated interaction counters
+// and communication volume per scheme to the values the engine produced
+// before the host-performance layer existed. A host-side "optimization"
+// that changes any of these has changed the simulation, not just made it
+// faster.
+func TestStepSimulatedMetricsGolden(t *testing.T) {
+	golden := map[Scheme]struct {
+		stats tree.Stats
+		words int64
+	}{
+		SPSA: {tree.Stats{MACTests: 417825, PC: 241787, PP: 1604592}, 1252023},
+		SPDA: {tree.Stats{MACTests: 417825, PC: 241787, PP: 1604592}, 1373207},
+		DPDA: {tree.Stats{MACTests: 361430, PC: 225970, PP: 1632296}, 606638},
+	}
+	for _, scheme := range []Scheme{SPSA, SPDA, DPDA} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			res := stepOnce(t, scheme)
+			want := golden[scheme]
+			if res.Stats != want.stats {
+				t.Errorf("stats drifted: got %+v want %+v", res.Stats, want.stats)
+			}
+			if res.CommWords != want.words {
+				t.Errorf("comm words drifted: got %d want %d", res.CommWords, want.words)
+			}
+		})
+	}
+}

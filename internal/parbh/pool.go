@@ -1,0 +1,45 @@
+package parbh
+
+import (
+	"sync"
+
+	"repro/internal/vec"
+)
+
+// slicePool recycles []T payload buffers handed through the simulated
+// message layer. The protocol discipline that makes this safe: a sender
+// builds a buffer, passes it to Send/AllToAll, and never touches it
+// again; the (single) receiver returns it to the pool once it has
+// unpacked the contents. Steady-state steps then reuse the same backing
+// arrays instead of allocating fresh wire buffers every exchange.
+type slicePool[T any] struct{ p sync.Pool }
+
+// get returns a length-n buffer, reusing a pooled backing array when one
+// with sufficient capacity is available. Reused element values are stale,
+// not zeroed — callers must overwrite every element.
+func (sp *slicePool[T]) get(n int) []T {
+	if v := sp.p.Get(); v != nil {
+		if buf := *(v.(*[]T)); cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]T, n)
+}
+
+// put returns a buffer to the pool. The caller must be the last reference
+// holder (the unpacking receiver, per the protocol above).
+func (sp *slicePool[T]) put(buf []T) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	sp.p.Put(&buf)
+}
+
+var (
+	wirePool     slicePool[wireParticle]
+	reqEntryPool slicePool[reqEntry]
+	slotPool     slicePool[int32]
+	vec3Pool     slicePool[vec.V3]
+	f64Pool      slicePool[float64]
+)

@@ -1,0 +1,46 @@
+package tree
+
+// nodeArena allocates Nodes in contiguous slabs so a build performs one
+// heap allocation per slab instead of one per cell. Slabs are never
+// reallocated once handed out (a full slab is replaced, not grown), so
+// node pointers remain stable; finished slabs stay reachable through the
+// tree's own node pointers and need no tracking. An arena may only be
+// used from one goroutine — parallel builds give each subtree its own.
+type nodeArena struct {
+	slab []Node
+}
+
+// arenaMaxSlabNodes caps a single slab so overflow growth cannot
+// overcommit memory on small or lopsided trees.
+const arenaMaxSlabNodes = 1 << 13
+
+// newNodeArena sizes the first slab for a build over n particles with the
+// given leaf capacity: a near-complete octree has ~2·n/leafCap nodes.
+func newNodeArena(n, leafCap int) *nodeArena {
+	if leafCap <= 0 {
+		leafCap = DefaultLeafCap
+	}
+	hint := 2*n/leafCap + 8
+	if hint > arenaMaxSlabNodes {
+		hint = arenaMaxSlabNodes
+	}
+	return &nodeArena{slab: make([]Node, 0, hint)}
+}
+
+// grab returns a fresh zero Node from the arena. When the current slab
+// fills, the next one doubles (up to the cap), so total slab count stays
+// logarithmic without a huge fixed slab size.
+func (a *nodeArena) grab() *Node {
+	if len(a.slab) == cap(a.slab) {
+		next := 2 * cap(a.slab)
+		if next < 64 {
+			next = 64
+		}
+		if next > arenaMaxSlabNodes {
+			next = arenaMaxSlabNodes
+		}
+		a.slab = make([]Node, 0, next)
+	}
+	a.slab = append(a.slab, Node{})
+	return &a.slab[len(a.slab)-1]
+}

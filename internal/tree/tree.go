@@ -10,7 +10,9 @@ package tree
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"repro/internal/compute"
 	"repro/internal/dist"
 	"repro/internal/keys"
 	"repro/internal/phys"
@@ -47,6 +49,11 @@ type Node struct {
 	// Exp is the node's multipole expansion about its centre of mass,
 	// populated by BuildExpansions for potential-mode traversals.
 	Exp *phys.Expansion
+
+	// loadIdx is the node's position in the tree's DFS numbering,
+	// assigned by indexLoads so parallel traversals can shard Load
+	// counters per worker and merge them deterministically.
+	loadIdx int32
 }
 
 // IsLeaf reports whether the node stores particles directly.
@@ -97,12 +104,39 @@ func Build(particles []dist.Particle, opt Options) *Tree {
 	box = box.Cube()
 	t := &Tree{LeafCap: leafCap, Degree: -1}
 	ps := append([]dist.Particle(nil), particles...)
+	a := newNodeArena(len(ps), leafCap)
 	if opt.CollapseBoxes {
-		t.Root = buildCollapsed(ps, box, keys.CellKey{}, leafCap)
+		t.Root = buildCollapsed(ps, box, keys.CellKey{}, leafCap, a)
 	} else {
-		t.Root = buildNode(ps, box, keys.CellKey{}, leafCap)
+		scratch := make([]dist.Particle, len(ps))
+		t.Root = buildNode(ps, scratch, box, keys.CellKey{}, leafCap, a)
 	}
 	return t
+}
+
+// parallelBuildMin is the subtree size above which octant children are
+// built concurrently. Below it the goroutine and arena overhead exceeds
+// the win; above it each child gets its own goroutine and arena. The
+// resulting tree is identical either way — only wall-clock changes.
+const parallelBuildMin = 8192
+
+// buildParallel reports whether a subtree of this size should fan its
+// octants out to goroutines: large enough to amortize the overhead, and
+// the host actually has more than one worker available.
+func buildParallel(n int) bool {
+	return n >= parallelBuildMin && compute.Workers(n) > 1
+}
+
+// fillLeaf stores the particles in a leaf and computes its mass moments.
+func fillLeaf(n *Node, ps []dist.Particle) {
+	n.Particles = ps
+	for i := range ps {
+		n.Mass += ps[i].Mass
+		n.COM = n.COM.Add(ps[i].Pos.Scale(ps[i].Mass))
+	}
+	if n.Mass > 0 {
+		n.COM = n.COM.Scale(1 / n.Mass)
+	}
 }
 
 // buildCollapsed is buildNode with box collapsing: the cell first shrinks
@@ -110,22 +144,16 @@ func Build(particles []dist.Particle, opt Options) *Tree {
 // particles stay strictly inside), then splits by octant as usual. Depth
 // is bounded by the particle count, not the geometry, so no MaxDepth
 // fallback is needed; key levels are still capped to stay meaningful.
-func buildCollapsed(ps []dist.Particle, box vec.Box, key keys.CellKey, leafCap int) *Node {
-	n := &Node{Box: box, Key: key}
+func buildCollapsed(ps []dist.Particle, box vec.Box, key keys.CellKey, leafCap int, a *nodeArena) *Node {
+	n := a.grab()
+	n.Box, n.Key = box, key
 	n.Count = len(ps)
 	if len(ps) == 0 {
 		n.Particles = []dist.Particle{}
 		return n
 	}
 	if len(ps) <= leafCap {
-		n.Particles = ps
-		for i := range ps {
-			n.Mass += ps[i].Mass
-			n.COM = n.COM.Add(ps[i].Pos.Scale(ps[i].Mass))
-		}
-		if n.Mass > 0 {
-			n.COM = n.COM.Scale(1 / n.Mass)
-		}
+		fillLeaf(n, ps)
 		return n
 	}
 	// Collapse: tighten to the particles' bounding cube when it is
@@ -139,14 +167,7 @@ func buildCollapsed(ps []dist.Particle, box vec.Box, key keys.CellKey, leafCap i
 	raw := vec.BoundingBox(pts)
 	if raw.LongestSide() == 0 {
 		// All particles coincide: keep them as one leaf.
-		n.Particles = ps
-		for i := range ps {
-			n.Mass += ps[i].Mass
-			n.COM = n.COM.Add(ps[i].Pos.Scale(ps[i].Mass))
-		}
-		if n.Mass > 0 {
-			n.COM = n.COM.Scale(1 / n.Mass)
-		}
+		fillLeaf(n, ps)
 		return n
 	}
 	tight := raw.Expand(raw.LongestSide() * 1e-9).Cube()
@@ -167,7 +188,7 @@ func buildCollapsed(ps []dist.Particle, box vec.Box, key keys.CellKey, leafCap i
 			continue
 		}
 		ck := keys.CellKey{Level: childLevel, Key: key.Key<<3 | keys.Morton(o)}
-		child := buildCollapsed(buckets[o], box.Octant(o), ck, leafCap)
+		child := buildCollapsed(buckets[o], box.Octant(o), ck, leafCap, a)
 		n.Children[o] = child
 		n.Mass += child.Mass
 		n.COM = n.COM.Add(child.COM.Scale(child.Mass))
@@ -186,32 +207,32 @@ func BuildSubtree(particles []dist.Particle, box vec.Box, key keys.CellKey, leaf
 		leafCap = DefaultLeafCap
 	}
 	ps := append([]dist.Particle(nil), particles...)
-	return buildNode(ps, box, key, leafCap)
+	scratch := make([]dist.Particle, len(ps))
+	return buildNode(ps, scratch, box, key, leafCap, newNodeArena(len(ps), leafCap))
 }
 
 // buildNode recursively partitions ps (which it may reorder) into the
-// octants of box.
-func buildNode(ps []dist.Particle, box vec.Box, key keys.CellKey, leafCap int) *Node {
-	n := &Node{Box: box, Key: key}
+// octants of box. ps and scratch are two same-length buffers ping-ponged
+// across levels: each level scatters ps into octant runs of scratch and
+// the children recurse with the roles swapped, so the whole build uses
+// two n-sized buffers instead of one allocation per internal node.
+// Leaves end up referencing runs of whichever buffer their level landed
+// on; both stay alive through those references.
+func buildNode(ps, scratch []dist.Particle, box vec.Box, key keys.CellKey, leafCap int, a *nodeArena) *Node {
+	n := a.grab()
+	n.Box, n.Key = box, key
 	n.Count = len(ps)
 	if len(ps) == 0 {
 		n.Particles = []dist.Particle{}
 		return n
 	}
 	if len(ps) <= leafCap || int(key.Level) >= MaxDepth {
-		n.Particles = ps
-		for i := range ps {
-			n.Mass += ps[i].Mass
-			n.COM = n.COM.Add(ps[i].Pos.Scale(ps[i].Mass))
-		}
-		if n.Mass > 0 {
-			n.COM = n.COM.Scale(1 / n.Mass)
-		}
+		fillLeaf(n, ps)
 		return n
 	}
 	// Partition in place: bucket by octant with a counting pass, then a
-	// stable scatter into a scratch slice reused as the children's backing
-	// storage.
+	// stable scatter into the scratch buffer, whose octant runs become
+	// the children's particle storage.
 	var counts [8]int
 	for i := range ps {
 		counts[box.OctantOf(ps[i].Pos)]++
@@ -220,21 +241,47 @@ func buildNode(ps []dist.Particle, box vec.Box, key keys.CellKey, leafCap int) *
 	for o := 0; o < 8; o++ {
 		starts[o+1] = starts[o] + counts[o]
 	}
-	scratch := make([]dist.Particle, len(ps))
 	var fill [8]int
 	for i := range ps {
 		o := box.OctantOf(ps[i].Pos)
 		scratch[starts[o]+fill[o]] = ps[i]
 		fill[o]++
 	}
-	for o := 0; o < 8; o++ {
-		if counts[o] == 0 {
-			continue
+	if buildParallel(len(ps)) {
+		// The closure takes the per-octant bounds as arguments, not
+		// captures, so counts/starts stay stack-allocated on the (common)
+		// serial path below.
+		var wg sync.WaitGroup
+		for o := 0; o < 8; o++ {
+			if counts[o] == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(o, lo, hi int) {
+				defer wg.Done()
+				ca := newNodeArena(hi-lo, leafCap)
+				n.Children[o] = buildNode(scratch[lo:hi], ps[lo:hi],
+					box.Octant(o), key.Child(o), leafCap, ca)
+			}(o, starts[o], starts[o+1])
 		}
-		child := buildNode(scratch[starts[o]:starts[o+1]], box.Octant(o), key.Child(o), leafCap)
-		n.Children[o] = child
-		n.Mass += child.Mass
-		n.COM = n.COM.Add(child.COM.Scale(child.Mass))
+		wg.Wait()
+		for o := 0; o < 8; o++ {
+			if child := n.Children[o]; child != nil {
+				n.Mass += child.Mass
+				n.COM = n.COM.Add(child.COM.Scale(child.Mass))
+			}
+		}
+	} else {
+		for o := 0; o < 8; o++ {
+			if counts[o] == 0 {
+				continue
+			}
+			child := buildNode(scratch[starts[o]:starts[o+1]], ps[starts[o]:starts[o+1]],
+				box.Octant(o), key.Child(o), leafCap, a)
+			n.Children[o] = child
+			n.Mass += child.Mass
+			n.COM = n.COM.Add(child.COM.Scale(child.Mass))
+		}
 	}
 	if n.Mass > 0 {
 		n.COM = n.COM.Scale(1 / n.Mass)
@@ -249,18 +296,21 @@ func buildNode(ps []dist.Particle, box vec.Box, key keys.CellKey, leafCap int) *
 // trees must be built with exactly the same arithmetic or a processor
 // could claim cells inside another's range. domain is the global root
 // cell (it is cubed internally).
+//
+// Keys are computed once, radix-sorted with the particle ID tie-break,
+// and the tree is then built over contiguous key ranges: child cells are
+// located by binary search on the 3-bit octant digit instead of a
+// counting scatter per level. Particles whose input order already is the
+// (key, ID) order — the invariant the DPDA engine maintains — come out
+// in exactly the same leaf order as before.
 func BuildKeyed(particles []dist.Particle, domain vec.Box, leafCap int) *Tree {
 	if leafCap <= 0 {
 		leafCap = DefaultLeafCap
 	}
 	box := domain.Cube()
-	ps := append([]dist.Particle(nil), particles...)
-	ks := make([]uint64, len(ps))
-	for i := range ps {
-		ks[i] = uint64(keys.PointKey3(ps[i].Pos, box, keys.MaxBits3D))
-	}
+	ps, ks := sortedByKey(particles, box)
 	t := &Tree{LeafCap: leafCap, Degree: -1}
-	t.Root = buildKeyedNode(ps, ks, box, keys.CellKey{}, leafCap)
+	t.Root = buildKeyedRange(ps, ks, box, keys.CellKey{}, leafCap, newNodeArena(len(ps), leafCap))
 	return t
 }
 
@@ -271,12 +321,29 @@ func BuildSubtreeKeyed(particles []dist.Particle, rootBox vec.Box, box vec.Box, 
 	if leafCap <= 0 {
 		leafCap = DefaultLeafCap
 	}
-	ps := append([]dist.Particle(nil), particles...)
-	ks := make([]uint64, len(ps))
-	for i := range ps {
-		ks[i] = uint64(keys.PointKey3(ps[i].Pos, rootBox, keys.MaxBits3D))
+	ps, ks := sortedByKey(particles, rootBox)
+	return buildKeyedRange(ps, ks, box, key, leafCap, newNodeArena(len(ps), leafCap))
+}
+
+// sortedByKey returns a copy of the particles sorted by (full-resolution
+// Morton key, ID) together with the aligned key slice.
+func sortedByKey(particles []dist.Particle, rootBox vec.Box) ([]dist.Particle, []uint64) {
+	pairs := make([]keys.KeyIdx, len(particles))
+	for i := range particles {
+		pairs[i] = keys.KeyIdx{
+			Key: uint64(keys.PointKey3(particles[i].Pos, rootBox, keys.MaxBits3D)),
+			ID:  int32(particles[i].ID),
+			Idx: int32(i),
+		}
 	}
-	return buildKeyedNode(ps, ks, box, key, leafCap)
+	keys.SortKeyIdx(pairs, nil)
+	ps := make([]dist.Particle, len(particles))
+	ks := make([]uint64, len(particles))
+	for i := range pairs {
+		ps[i] = particles[pairs[i].Idx]
+		ks[i] = pairs[i].Key
+	}
+	return ps, ks
 }
 
 // keyOctant extracts the octant a full-resolution key takes at the given
@@ -285,51 +352,71 @@ func keyOctant(k uint64, level int) int {
 	return int(k>>(3*uint(keys.MaxBits3D-1-level))) & 7
 }
 
-func buildKeyedNode(ps []dist.Particle, ks []uint64, box vec.Box, key keys.CellKey, leafCap int) *Node {
-	n := &Node{Box: box, Key: key}
+// buildKeyedRange builds the subtree for a contiguous range of the
+// key-sorted particle array. Child ranges are found by binary search on
+// the octant digit (nondecreasing within a cell's range, because all
+// keys share the cell's prefix), so no per-level scatter or scratch
+// buffers are needed; leaves subslice the shared sorted array.
+func buildKeyedRange(ps []dist.Particle, ks []uint64, box vec.Box, key keys.CellKey, leafCap int, a *nodeArena) *Node {
+	n := a.grab()
+	n.Box, n.Key = box, key
 	n.Count = len(ps)
 	if len(ps) == 0 {
 		n.Particles = []dist.Particle{}
 		return n
 	}
 	if len(ps) <= leafCap || int(key.Level) >= MaxDepth {
-		n.Particles = ps
-		for i := range ps {
-			n.Mass += ps[i].Mass
-			n.COM = n.COM.Add(ps[i].Pos.Scale(ps[i].Mass))
-		}
-		if n.Mass > 0 {
-			n.COM = n.COM.Scale(1 / n.Mass)
-		}
+		fillLeaf(n, ps)
 		return n
 	}
 	level := int(key.Level)
-	var counts [8]int
-	for i := range ps {
-		counts[keyOctant(ks[i], level)]++
-	}
-	var starts [9]int
-	for o := 0; o < 8; o++ {
-		starts[o+1] = starts[o] + counts[o]
-	}
-	scratchP := make([]dist.Particle, len(ps))
-	scratchK := make([]uint64, len(ps))
-	var fill [8]int
-	for i := range ps {
-		o := keyOctant(ks[i], level)
-		scratchP[starts[o]+fill[o]] = ps[i]
-		scratchK[starts[o]+fill[o]] = ks[i]
-		fill[o]++
-	}
-	for o := 0; o < 8; o++ {
-		if counts[o] == 0 {
-			continue
+	// bounds[o] is the first index whose octant digit is ≥ o.
+	var bounds [9]int
+	bounds[8] = len(ps)
+	for o := 7; o >= 1; o-- {
+		lo, hi := 0, bounds[o+1]
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if keyOctant(ks[mid], level) < o {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
 		}
-		child := buildKeyedNode(scratchP[starts[o]:starts[o+1]], scratchK[starts[o]:starts[o+1]],
-			box.Octant(o), key.Child(o), leafCap)
-		n.Children[o] = child
-		n.Mass += child.Mass
-		n.COM = n.COM.Add(child.COM.Scale(child.Mass))
+		bounds[o] = lo
+	}
+	if buildParallel(len(ps)) {
+		var wg sync.WaitGroup
+		for o := 0; o < 8; o++ {
+			lo, hi := bounds[o], bounds[o+1]
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(o, lo, hi int) {
+				defer wg.Done()
+				ca := newNodeArena(hi-lo, leafCap)
+				n.Children[o] = buildKeyedRange(ps[lo:hi], ks[lo:hi], box.Octant(o), key.Child(o), leafCap, ca)
+			}(o, lo, hi)
+		}
+		wg.Wait()
+		for o := 0; o < 8; o++ {
+			if child := n.Children[o]; child != nil {
+				n.Mass += child.Mass
+				n.COM = n.COM.Add(child.COM.Scale(child.Mass))
+			}
+		}
+	} else {
+		for o := 0; o < 8; o++ {
+			lo, hi := bounds[o], bounds[o+1]
+			if lo == hi {
+				continue
+			}
+			child := buildKeyedRange(ps[lo:hi], ks[lo:hi], box.Octant(o), key.Child(o), leafCap, a)
+			n.Children[o] = child
+			n.Mass += child.Mass
+			n.COM = n.COM.Add(child.COM.Scale(child.Mass))
+		}
 	}
 	if n.Mass > 0 {
 		n.COM = n.COM.Scale(1 / n.Mass)
@@ -440,14 +527,17 @@ func Accepts(n *Node, pos vec.V3, alpha float64) bool {
 // Load counters.
 func (t *Tree) AccelAt(pos vec.V3, selfID int, alpha, eps float64, stats *Stats) vec.V3 {
 	var s Stats
-	a := accelNode(t.Root, pos, selfID, alpha, eps, &s)
+	a := accelNode(t.Root, pos, selfID, alpha, eps, &s, nil)
 	if stats != nil {
 		stats.Add(s)
 	}
 	return a
 }
 
-func accelNode(n *Node, pos vec.V3, selfID int, alpha, eps float64, s *Stats) vec.V3 {
+// accelNode descends the tree accumulating the acceleration at pos. Load
+// counts go into loads (indexed by loadIdx) when non-nil — the per-worker
+// shard of a parallel traversal — and directly into n.Load otherwise.
+func accelNode(n *Node, pos vec.V3, selfID int, alpha, eps float64, s *Stats, loads []int64) vec.V3 {
 	if n == nil || n.Count == 0 {
 		return vec.V3{}
 	}
@@ -461,19 +551,27 @@ func accelNode(n *Node, pos vec.V3, selfID int, alpha, eps float64, s *Stats) ve
 			a = a.Add(phys.Accel(pos, p.Pos, p.Mass, eps))
 			s.PP++
 		}
-		n.Load += int64(len(n.Particles))
+		if loads != nil {
+			loads[n.loadIdx] += int64(len(n.Particles))
+		} else {
+			n.Load += int64(len(n.Particles))
+		}
 		return a
 	}
 	s.MACTests++
 	if Accepts(n, pos, alpha) {
 		s.PC++
-		n.Load++
+		if loads != nil {
+			loads[n.loadIdx]++
+		} else {
+			n.Load++
+		}
 		return phys.Accel(pos, n.COM, n.Mass, eps)
 	}
 	var a vec.V3
 	for _, c := range n.Children {
 		if c != nil {
-			a = a.Add(accelNode(c, pos, selfID, alpha, eps, s))
+			a = a.Add(accelNode(c, pos, selfID, alpha, eps, s, loads))
 		}
 	}
 	return a
@@ -487,14 +585,16 @@ func (t *Tree) PotentialAt(pos vec.V3, selfID int, alpha float64, stats *Stats) 
 		panic("tree: PotentialAt requires BuildExpansions")
 	}
 	var s Stats
-	phi := potNode(t.Root, pos, selfID, alpha, &s)
+	phi := potNode(t.Root, pos, selfID, alpha, &s, nil)
 	if stats != nil {
 		stats.Add(s)
 	}
 	return phi
 }
 
-func potNode(n *Node, pos vec.V3, selfID int, alpha float64, s *Stats) float64 {
+// potNode mirrors accelNode for potential-mode traversals; see there for
+// the loads-shard convention.
+func potNode(n *Node, pos vec.V3, selfID int, alpha float64, s *Stats, loads []int64) float64 {
 	if n == nil || n.Count == 0 {
 		return 0
 	}
@@ -508,19 +608,27 @@ func potNode(n *Node, pos vec.V3, selfID int, alpha float64, s *Stats) float64 {
 			phi += phys.Potential(pos, p.Pos, p.Mass, 0)
 			s.PP++
 		}
-		n.Load += int64(len(n.Particles))
+		if loads != nil {
+			loads[n.loadIdx] += int64(len(n.Particles))
+		} else {
+			n.Load += int64(len(n.Particles))
+		}
 		return phi
 	}
 	s.MACTests++
 	if Accepts(n, pos, alpha) {
 		s.PC++
-		n.Load++
+		if loads != nil {
+			loads[n.loadIdx]++
+		} else {
+			n.Load++
+		}
 		return n.Exp.EvalPotential(pos)
 	}
 	var phi float64
 	for _, c := range n.Children {
 		if c != nil {
-			phi += potNode(c, pos, selfID, alpha, s)
+			phi += potNode(c, pos, selfID, alpha, s, loads)
 		}
 	}
 	return phi
@@ -533,7 +641,7 @@ func potNode(n *Node, pos vec.V3, selfID int, alpha float64, s *Stats) float64 {
 // nodes.
 func AccelFrom(n *Node, pos vec.V3, selfID int, alpha, eps float64, stats *Stats) vec.V3 {
 	var s Stats
-	a := accelNode(n, pos, selfID, alpha, eps, &s)
+	a := accelNode(n, pos, selfID, alpha, eps, &s, nil)
 	if stats != nil {
 		stats.Add(s)
 	}
@@ -544,7 +652,7 @@ func AccelFrom(n *Node, pos vec.V3, selfID int, alpha, eps float64, stats *Stats
 // subtree's expansions must have been built.
 func PotentialFrom(n *Node, pos vec.V3, selfID int, alpha float64, stats *Stats) float64 {
 	var s Stats
-	phi := potNode(n, pos, selfID, alpha, &s)
+	phi := potNode(n, pos, selfID, alpha, &s, nil)
 	if stats != nil {
 		stats.Add(s)
 	}
@@ -576,23 +684,94 @@ func ParticleLevels(n *Node) int64 {
 // CountNodes returns the number of nodes in the subtree rooted at n.
 func CountNodes(n *Node) int { return countNodes(n) }
 
+// indexLoads assigns each node its depth-first position and returns the
+// nodes in that order, so a parallel traversal can accumulate Load into
+// flat per-worker shards and merge them back after the workers join.
+func (t *Tree) indexLoads() []*Node {
+	nodes := make([]*Node, 0, 256)
+	t.Walk(func(n *Node) bool {
+		n.loadIdx = int32(len(nodes))
+		nodes = append(nodes, n)
+		return true
+	})
+	return nodes
+}
+
 // AccelAll computes accelerations for every particle in ps against the
 // tree, returning one acceleration per particle and the combined stats.
+//
+// The loop runs across all cores, but the results — accelerations, Stats,
+// and per-node Load counters — are bit-identical to the sequential loop:
+// each particle's traversal is independent, and the integer counters are
+// accumulated in per-worker shards merged exactly after the join.
 func (t *Tree) AccelAll(ps []dist.Particle, alpha, eps float64) ([]vec.V3, Stats) {
 	out := make([]vec.V3, len(ps))
+	workers := compute.Workers(len(ps))
+	if workers <= 1 {
+		var s Stats
+		for i := range ps {
+			out[i] = t.AccelAt(ps[i].Pos, ps[i].ID, alpha, eps, &s)
+		}
+		return out, s
+	}
+	nodes := t.indexLoads()
+	shardStats := make([]Stats, workers)
+	shardLoads := make([][]int64, workers)
+	compute.ParallelBlocks(len(ps), func(w, lo, hi int) {
+		loads := make([]int64, len(nodes))
+		s := &shardStats[w]
+		for i := lo; i < hi; i++ {
+			out[i] = accelNode(t.Root, ps[i].Pos, ps[i].ID, alpha, eps, s, loads)
+		}
+		shardLoads[w] = loads
+	})
 	var s Stats
-	for i := range ps {
-		out[i] = t.AccelAt(ps[i].Pos, ps[i].ID, alpha, eps, &s)
+	for w := 0; w < workers; w++ {
+		s.Add(shardStats[w])
+		for j, v := range shardLoads[w] {
+			if v != 0 {
+				nodes[j].Load += v
+			}
+		}
 	}
 	return out, s
 }
 
-// PotentialAll computes potentials for every particle in ps.
+// PotentialAll computes potentials for every particle in ps. Like
+// AccelAll it runs multi-core with results bit-identical to the
+// sequential loop.
 func (t *Tree) PotentialAll(ps []dist.Particle, alpha float64) ([]float64, Stats) {
 	out := make([]float64, len(ps))
+	workers := compute.Workers(len(ps))
+	if workers <= 1 {
+		var s Stats
+		for i := range ps {
+			out[i] = t.PotentialAt(ps[i].Pos, ps[i].ID, alpha, &s)
+		}
+		return out, s
+	}
+	if t.Degree < 0 {
+		panic("tree: PotentialAll requires BuildExpansions")
+	}
+	nodes := t.indexLoads()
+	shardStats := make([]Stats, workers)
+	shardLoads := make([][]int64, workers)
+	compute.ParallelBlocks(len(ps), func(w, lo, hi int) {
+		loads := make([]int64, len(nodes))
+		s := &shardStats[w]
+		for i := lo; i < hi; i++ {
+			out[i] = potNode(t.Root, ps[i].Pos, ps[i].ID, alpha, s, loads)
+		}
+		shardLoads[w] = loads
+	})
 	var s Stats
-	for i := range ps {
-		out[i] = t.PotentialAt(ps[i].Pos, ps[i].ID, alpha, &s)
+	for w := 0; w < workers; w++ {
+		s.Add(shardStats[w])
+		for j, v := range shardLoads[w] {
+			if v != 0 {
+				nodes[j].Load += v
+			}
+		}
 	}
 	return out, s
 }
