@@ -18,6 +18,9 @@ import (
 	"time"
 
 	barneshut "repro"
+	"repro/internal/cluster"
+	"repro/internal/parbh"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -42,6 +45,10 @@ func main() {
 		csvPath  = flag.String("csv", "", "write per-step history CSV to this file")
 		ckptPath = flag.String("checkpoint", "", "write a resumable checkpoint here after the run")
 		resume   = flag.String("resume", "", "resume from a checkpoint file (overrides -dist/-n)")
+		trans    = flag.String("transport", "inproc", "inproc, or tcp to coordinate nbodyworker processes")
+		tListen  = flag.String("transport-listen", "127.0.0.1:0", "coordinator listen address (tcp transport)")
+		tWorkers = flag.Int("transport-workers", 1, "worker processes to wait for (tcp transport)")
+		tWait    = flag.Duration("transport-wait", 60*time.Second, "how long to wait for workers to join (tcp transport)")
 	)
 	flag.Parse()
 
@@ -89,6 +96,18 @@ func main() {
 	}
 	if strings.ToLower(*shipping) == "data" {
 		cfg.Shipping = barneshut.DataShipping
+	}
+
+	switch strings.ToLower(*trans) {
+	case "inproc", "":
+	case "tcp":
+		if *resume != "" || *ckptPath != "" || *csvPath != "" {
+			fatal(fmt.Errorf("-resume/-checkpoint/-csv are not supported with -transport tcp"))
+		}
+		runTCP(set, cfg, *distName, *steps, *tListen, *tWorkers, *tWait, *verbose)
+		return
+	default:
+		fatal(fmt.Errorf("unknown transport %q", *trans))
 	}
 
 	var sim *barneshut.Simulation
@@ -158,6 +177,79 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("checkpoint written to %s\n", *ckptPath)
+	}
+}
+
+// runTCP drives the same force evaluation across real OS processes:
+// this process hosts the coordinator ranks, each joined nbodyworker
+// hosts a block of the rest. The simulated clock and interaction
+// statistics are bit-identical to the in-proc run of the same
+// configuration; the GOLDEN line makes that directly comparable.
+func runTCP(set *barneshut.ParticleSet, cfg barneshut.Config, distName string, steps int, listen string, workers int, wait time.Duration, verbose bool) {
+	if workers < 1 {
+		fatal(fmt.Errorf("-transport-workers must be at least 1"))
+	}
+	node, err := transport.NewCoordinator(transport.Config{ListenAddr: listen}, workers+1)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nbody: coordinator on %s, waiting for %d worker(s)\n", node.Addr(), workers)
+	if err := node.WaitWorkers(wait); err != nil {
+		fatal(err)
+	}
+	coord, err := cluster.NewCoordinator(node)
+	if err != nil {
+		fatal(err)
+	}
+	job := cluster.Job{
+		Name:    distName,
+		Ranks:   cfg.Processors,
+		Steps:   steps,
+		Profile: cfg.Profile,
+		Config: parbh.Config{
+			Scheme:       cfg.Scheme,
+			Mode:         cfg.Mode,
+			Alpha:        cfg.Alpha,
+			Degree:       cfg.Degree,
+			Eps:          cfg.Eps,
+			LeafCap:      cfg.LeafCap,
+			GridLog2:     cfg.GridLog2,
+			BinSize:      cfg.BinSize,
+			Shipping:     cfg.Shipping,
+			BranchLookup: cfg.BranchLookup,
+			Ordering:     cfg.Ordering,
+			TreeBuild:    cfg.TreeBuild,
+		},
+		Domain: set.Domain,
+		Parts:  set.Particles,
+	}
+	fmt.Printf("nbody: %s n=%d p=%d scheme=%v mode=%v machine=%s over %d processes\n",
+		distName, set.N(), cfg.Processors, cfg.Scheme, cfg.Mode, cfg.Profile.Name, workers+1)
+	start := time.Now()
+	last, err := coord.Run(job, func(step int, res *parbh.Result) bool {
+		fmt.Printf("step %2d: sim %.3fs  eff %.2f  speedup %.1f  imb %.2f  comm %.2f Mwords  F=%d\n",
+			step+1, res.SimTime, res.Efficiency, res.Speedup, res.Imbalance,
+			float64(res.CommWords)/1e6, res.Stats.Interactions())
+		if verbose {
+			for _, name := range res.PhaseOrder {
+				fmt.Printf("         %-36s %.4fs\n", name, res.Phases[name])
+			}
+		}
+		return true
+	})
+	if err != nil {
+		coord.Shutdown()
+		fatal(err)
+	}
+	fmt.Printf("GOLDEN simtime=%.17g mac=%d pc=%d pp=%d words=%d msgs=%d\n",
+		last.SimTime, last.Stats.MACTests, last.Stats.PC, last.Stats.PP,
+		last.CommWords, last.CommMessages)
+	m := node.Metrics().Snapshot()
+	fmt.Printf("transport: %d frames / %.2f MB sent, %d frames / %.2f MB received, %d dial(s), wall %.2fs\n",
+		m.FramesSent, float64(m.BytesSent)/1e6, m.FramesRecv, float64(m.BytesRecv)/1e6,
+		m.Dials, time.Since(start).Seconds())
+	if err := coord.Shutdown(); err != nil {
+		fatal(err)
 	}
 }
 

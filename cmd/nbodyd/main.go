@@ -30,7 +30,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -41,17 +43,44 @@ func main() {
 		spool     = flag.String("spool", "", "spool directory for checkpoint-backed resume (empty disables)")
 		ckptEvery = flag.Int("checkpoint-every", 10, "steps between periodic job checkpoints")
 		drain     = flag.Duration("drain", 30*time.Second, "max time to wait for workers on shutdown")
+		cListen   = flag.String("cluster-listen", "127.0.0.1:0", "cluster coordinator listen address (with -cluster-workers)")
+		cWorkers  = flag.Int("cluster-workers", 0, "nbodyworker processes to wait for; 0 disables the tcp transport")
+		cWait     = flag.Duration("cluster-wait", 60*time.Second, "how long to wait for cluster workers to join")
 	)
 	flag.Parse()
 
-	svc, err := service.New(service.Options{
+	opt := service.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		SpoolDir:        *spool,
 		CheckpointEvery: *ckptEvery,
-	})
+	}
+	var coord *cluster.Coordinator
+	var node *transport.Node
+	if *cWorkers > 0 {
+		var err error
+		node, err = transport.NewCoordinator(transport.Config{ListenAddr: *cListen}, *cWorkers+1)
+		if err != nil {
+			log.Fatalf("nbodyd: cluster: %v", err)
+		}
+		log.Printf("nbodyd: cluster coordinator on %s, waiting for %d worker(s)", node.Addr(), *cWorkers)
+		if err := node.WaitWorkers(*cWait); err != nil {
+			log.Fatalf("nbodyd: cluster: %v", err)
+		}
+		coord, err = cluster.NewCoordinator(node)
+		if err != nil {
+			log.Fatalf("nbodyd: cluster: %v", err)
+		}
+		opt.Cluster = coord
+		log.Printf("nbodyd: cluster assembled: %d processes", node.NumProcs())
+	}
+
+	svc, err := service.New(opt)
 	if err != nil {
 		log.Fatalf("nbodyd: %v", err)
+	}
+	if node != nil {
+		svc.Metrics().SetTransport(node.Metrics())
 	}
 	svc.Start()
 
@@ -78,6 +107,11 @@ func main() {
 	}
 	if err := svc.Shutdown(shutCtx); err != nil {
 		log.Printf("nbodyd: worker drain: %v", err)
+	}
+	if coord != nil {
+		if err := coord.Shutdown(); err != nil {
+			log.Printf("nbodyd: cluster shutdown: %v", err)
+		}
 	}
 	log.Printf("nbodyd: stopped")
 }

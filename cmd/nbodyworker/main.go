@@ -1,0 +1,63 @@
+// Command nbodyworker joins a distributed n-body run as one process of
+// the SPMD machine. It dials the coordinator (an nbody or nbodyd
+// process started with a TCP transport), receives its block of
+// simulated ranks, and serves jobs until the coordinator shuts the
+// cluster down.
+//
+// A two-process run on one host:
+//
+//	nbody -transport tcp -transport-listen 127.0.0.1:9301 -transport-workers 1 ...
+//	nbodyworker -join 127.0.0.1:9301
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		join      = flag.String("join", "", "coordinator address host:port (required)")
+		listen    = flag.String("listen", "127.0.0.1:0", "address to accept peer connections on")
+		advertise = flag.String("advertise", "", "address peers should dial (defaults to the listen address)")
+		retries   = flag.Int("dial-retries", 8, "redial attempts after a failed dial")
+		timeout   = flag.Duration("dial-timeout", 5*time.Second, "per-attempt dial timeout")
+		quiet     = flag.Bool("q", false, "suppress job progress logging")
+	)
+	flag.Parse()
+	if *join == "" {
+		fatal(fmt.Errorf("-join is required"))
+	}
+	cfg := transport.Config{
+		ListenAddr:    *listen,
+		AdvertiseAddr: *advertise,
+		DialTimeout:   *timeout,
+		DialRetries:   *retries,
+	}
+	node, err := transport.Join(*join, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	logf := log.New(os.Stderr, fmt.Sprintf("nbodyworker[%d]: ", node.ProcID()), log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	} else {
+		logf("joined %s as proc %d of %d", *join, node.ProcID(), node.NumProcs())
+	}
+	err = cluster.Serve(node, logf)
+	node.Close()
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nbodyworker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/msg"
+	"repro/internal/parbh"
+	"repro/internal/transport"
+)
+
+// assignRanks block-partitions ranks over procs: proc i gets a
+// contiguous run, earlier procs take the remainder, proc 0 always owns
+// rank 0. Identical on every process by construction.
+func assignRanks(ranks, procs int) ([]int32, error) {
+	if ranks < procs {
+		return nil, fmt.Errorf("cluster: %d rank(s) cannot cover %d process(es)", ranks, procs)
+	}
+	owner := make([]int32, ranks)
+	base := ranks / procs
+	rem := ranks % procs
+	r := 0
+	for p := 0; p < procs; p++ {
+		n := base
+		if p < rem {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			owner[r] = int32(p)
+			r++
+		}
+	}
+	return owner, nil
+}
+
+// RankNet implements msg.Network over a transport.Link for one job: it
+// maps ranks to processes, stamps the job epoch on outgoing frames, and
+// drops frames from stale epochs (a straggler from a previous job on a
+// reused connection must never reach a live mailbox).
+type RankNet struct {
+	link    transport.Link
+	owner   []int32
+	local   []int
+	epoch   uint32
+	handler atomic.Pointer[func(*transport.Frame)]
+}
+
+// newRankNet wires a per-job network onto link. The same assignment is
+// computed on every process from (ranks, link.NumProcs()).
+func newRankNet(link transport.Link, ranks int, epoch uint32) (*RankNet, error) {
+	owner, err := assignRanks(ranks, link.NumProcs())
+	if err != nil {
+		return nil, err
+	}
+	rn := &RankNet{link: link, owner: owner, epoch: epoch}
+	me := int32(link.ProcID())
+	for rk, o := range owner {
+		if o == me {
+			rn.local = append(rn.local, rk)
+		}
+	}
+	link.SetDataHandler(rn.onFrame)
+	return rn, nil
+}
+
+func (rn *RankNet) onFrame(f *transport.Frame) {
+	if f.Epoch != rn.epoch {
+		return // stale job incarnation
+	}
+	if fn := rn.handler.Load(); fn != nil {
+		(*fn)(f)
+	}
+}
+
+// Ranks implements msg.Network.
+func (rn *RankNet) Ranks() int { return len(rn.owner) }
+
+// LocalRanks implements msg.Network.
+func (rn *RankNet) LocalRanks() []int { return rn.local }
+
+// ProcID implements msg.Network.
+func (rn *RankNet) ProcID() int { return rn.link.ProcID() }
+
+// NumProcs implements msg.Network.
+func (rn *RankNet) NumProcs() int { return rn.link.NumProcs() }
+
+// SendFrame implements msg.Network.
+func (rn *RankNet) SendFrame(f *transport.Frame) error {
+	f.Epoch = rn.epoch
+	return rn.link.SendData(int(rn.owner[f.Dst]), f)
+}
+
+// SetHandler implements msg.Network.
+func (rn *RankNet) SetHandler(fn func(*transport.Frame)) { rn.handler.Store(&fn) }
+
+// SetErrorHandler implements msg.Network.
+func (rn *RankNet) SetErrorHandler(fn func(error)) { rn.link.SetErrorHandler(fn) }
+
+// HostSend implements msg.Network.
+func (rn *RankNet) HostSend(dst int, payload any) error { return rn.link.HostSend(dst, payload) }
+
+// HostRecv implements msg.Network.
+func (rn *RankNet) HostRecv() (int, any, error) { return rn.link.HostRecv() }
+
+// Coordinator drives jobs from process 0 of an assembled transport.
+type Coordinator struct {
+	link  transport.Link
+	epoch uint32
+}
+
+// NewCoordinator wraps an assembled link (proc 0). For TCP the link
+// comes from transport.NewCoordinator + WaitWorkers; tests use a
+// transport.MeshNode.
+func NewCoordinator(link transport.Link) (*Coordinator, error) {
+	if link.ProcID() != 0 {
+		return nil, fmt.Errorf("cluster: coordinator must be proc 0, got %d", link.ProcID())
+	}
+	return &Coordinator{link: link}, nil
+}
+
+// Run executes a job across the member processes and returns the final
+// step's result. onStep, if non-nil, observes every step's result on
+// the coordinator; returning false stops the job early (workers simply
+// receive endJob instead of another stepCmd).
+func (c *Coordinator) Run(job Job, onStep func(step int, res *parbh.Result) bool) (*parbh.Result, error) {
+	if job.Steps <= 0 {
+		return nil, fmt.Errorf("cluster: job needs at least 1 step")
+	}
+	if len(job.Parts) == 0 {
+		return nil, fmt.Errorf("cluster: job has no particles")
+	}
+	c.epoch++
+	epoch := c.epoch
+	procs := c.link.NumProcs()
+	if _, err := assignRanks(job.Ranks, procs); err != nil {
+		return nil, err
+	}
+	for p := 1; p < procs; p++ {
+		if err := c.link.HostSend(p, jobStart{Epoch: epoch, Job: job}); err != nil {
+			return nil, fmt.Errorf("cluster: starting job on proc %d: %w", p, err)
+		}
+	}
+	eng, err := buildEngine(c.link, epoch, job)
+	if err != nil {
+		return nil, err
+	}
+	// Barrier: every worker must have its engine built and handlers
+	// installed before any rank frame can flow, or early frames would
+	// hit a link with no machine behind it.
+	for i := 1; i < procs; i++ {
+		src, payload, err := c.link.HostRecv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: waiting for workers: %w", err)
+		}
+		ack, ok := payload.(jobReady)
+		if !ok {
+			return nil, fmt.Errorf("cluster: proc %d sent %T during job setup, want jobReady", src, payload)
+		}
+		if ack.Epoch != epoch {
+			return nil, fmt.Errorf("cluster: proc %d acknowledged epoch %d, want %d", src, ack.Epoch, epoch)
+		}
+		if ack.Err != "" {
+			for p := 1; p < procs; p++ {
+				c.link.HostSend(p, endJob{Epoch: epoch})
+			}
+			return nil, fmt.Errorf("cluster: proc %d failed to start job: %s", src, ack.Err)
+		}
+	}
+	var last *parbh.Result
+	var stepErr error
+	for s := 0; s < job.Steps; s++ {
+		for p := 1; p < procs; p++ {
+			if err := c.link.HostSend(p, stepCmd{Epoch: epoch, Step: int32(s)}); err != nil {
+				return nil, fmt.Errorf("cluster: step %d on proc %d: %w", s, p, err)
+			}
+		}
+		res, err := runStep(eng)
+		if err != nil {
+			stepErr = err
+			break
+		}
+		last = res
+		if onStep != nil && !onStep(s, res) {
+			break
+		}
+	}
+	for p := 1; p < procs; p++ {
+		if err := c.link.HostSend(p, endJob{Epoch: epoch}); err != nil && stepErr == nil {
+			stepErr = fmt.Errorf("cluster: ending job on proc %d: %w", p, err)
+		}
+	}
+	if stepErr != nil {
+		return nil, stepErr
+	}
+	return last, nil
+}
+
+// Shutdown releases the worker processes (they exit Serve) and closes
+// the coordinator's link.
+func (c *Coordinator) Shutdown() error {
+	for p := 1; p < c.link.NumProcs(); p++ {
+		c.link.HostSend(p, shutdown{})
+	}
+	return c.link.Close()
+}
+
+// Metrics exposes the coordinator link's transport counters.
+func (c *Coordinator) Metrics() *transport.Metrics { return c.link.Metrics() }
+
+// buildEngine constructs this process's share of the distributed
+// machine and engine for one job. Deterministic given the job, so
+// every process bootstraps identical ownership state.
+func buildEngine(link transport.Link, epoch uint32, job Job) (*parbh.Engine, error) {
+	rn, err := newRankNet(link, job.Ranks, epoch)
+	if err != nil {
+		return nil, err
+	}
+	machine := msg.NewNetworkMachine(rn, job.Profile)
+	set := &dist.Set{Particles: job.Parts, Domain: job.Domain}
+	return parbh.New(machine, set, job.Config)
+}
+
+// runStep converts an engine panic (transport failure surfaces as one)
+// into an error so callers get a clean failure instead of a crash.
+func runStep(eng *parbh.Engine) (res *parbh.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: step failed: %v", r)
+		}
+	}()
+	return eng.Step(), nil
+}
+
+// Serve runs a worker process's control loop until the coordinator
+// shuts it down or the transport fails. logf may be nil.
+func Serve(link transport.Link, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for {
+		_, payload, err := link.HostRecv()
+		if err != nil {
+			return fmt.Errorf("cluster: worker control channel: %w", err)
+		}
+		switch v := payload.(type) {
+		case jobStart:
+			logf("job %q: %d ranks over %d procs, %d steps, scheme %v",
+				v.Job.Name, v.Job.Ranks, link.NumProcs(), v.Job.Steps, v.Job.Config.Scheme)
+			eng, err := buildEngine(link, v.Epoch, v.Job)
+			if err != nil {
+				logf("job %q rejected: %v", v.Job.Name, err)
+				if serr := link.HostSend(0, jobReady{Epoch: v.Epoch, Err: err.Error()}); serr != nil {
+					return fmt.Errorf("cluster: worker control channel: %w", serr)
+				}
+				continue
+			}
+			if err := link.HostSend(0, jobReady{Epoch: v.Epoch}); err != nil {
+				return fmt.Errorf("cluster: worker control channel: %w", err)
+			}
+			if err := serveJob(link, eng, v); err != nil {
+				if err == errShutdown {
+					logf("shutdown")
+					return nil
+				}
+				return err
+			}
+			logf("job %q done", v.Job.Name)
+		case stepCmd, endJob:
+			// Stragglers from a job this worker already left (e.g. the
+			// coordinator releasing everyone after a failed start).
+		case shutdown:
+			logf("shutdown")
+			return nil
+		default:
+			logf("ignoring unexpected control payload %T", payload)
+		}
+	}
+}
+
+// serveJob runs one job's steps as commanded by the coordinator.
+func serveJob(link transport.Link, eng *parbh.Engine, js jobStart) error {
+	for {
+		_, payload, err := link.HostRecv()
+		if err != nil {
+			return fmt.Errorf("cluster: worker control channel: %w", err)
+		}
+		switch v := payload.(type) {
+		case stepCmd:
+			if v.Epoch != js.Epoch {
+				continue // stale
+			}
+			if _, err := runStep(eng); err != nil {
+				return err
+			}
+		case endJob:
+			if v.Epoch == js.Epoch {
+				return nil
+			}
+		case shutdown:
+			return errShutdown
+		default:
+			return fmt.Errorf("cluster: unexpected control payload %T during job", payload)
+		}
+	}
+}
+
+// errShutdown propagates a shutdown received mid-job out of serveJob.
+var errShutdown = fmt.Errorf("cluster: shutdown requested")

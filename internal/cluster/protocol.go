@@ -1,0 +1,215 @@
+// Package cluster runs the SPMD simulated machine across real OS
+// processes: a coordinator (proc 0) drives SPSA/SPDA/DPDA jobs on a
+// machine whose ranks are block-partitioned over the member processes,
+// exchanging engine payloads through internal/transport.
+//
+// The control protocol is deliberately small and step-granular:
+//
+//	coordinator → workers:  jobStart, stepCmd*, endJob, shutdown
+//	workers → coordinator:  stepOutputs (inside parbh's result gather)
+//
+// All control traffic travels on the transport's untimed host channel;
+// the simulated machine only ever sees rank-to-rank frames, so the
+// simulated clock, interaction stats, and comm volumes of a job are
+// bit-identical to the same job on an in-proc machine.
+package cluster
+
+import (
+	"repro/internal/dist"
+	"repro/internal/msg"
+	"repro/internal/parbh"
+	"repro/internal/transport"
+	"repro/internal/vec"
+)
+
+// Wire IDs 51–60 are reserved for this package (see the block table in
+// internal/transport/codec.go).
+const (
+	idJobStart uint16 = 51
+	idStepCmd  uint16 = 52
+	idEndJob   uint16 = 53
+	idShutdown uint16 = 54
+	idJobReady uint16 = 55
+)
+
+// Job describes one distributed engine run. Every process receives the
+// full particle set and bootstraps the engine deterministically, so no
+// initial scatter is needed; the per-step migrations keep only the
+// owned particles hot on each rank afterwards.
+type Job struct {
+	Name    string
+	Ranks   int // simulated processors (≥ member process count)
+	Steps   int
+	Profile msg.CostProfile
+	Config  parbh.Config
+	Domain  vec.Box
+	Parts   []dist.Particle
+}
+
+// jobStart opens a job on the workers: the job itself plus the epoch
+// that tags every frame of this run.
+type jobStart struct {
+	Epoch uint32
+	Job   Job
+}
+
+// stepCmd tells workers to execute one engine step.
+type stepCmd struct {
+	Epoch uint32
+	Step  int32
+}
+
+// endJob closes the current job on the workers.
+type endJob struct {
+	Epoch uint32
+}
+
+// shutdown tells a worker process to exit its serve loop.
+type shutdown struct{}
+
+// jobReady acknowledges jobStart: the worker's engine is built and its
+// frame handlers are installed (or Err says why not). The coordinator
+// collects one from every worker before the first stepCmd — without
+// this barrier a fast coordinator could put rank frames on the wire
+// while a worker is still decoding the job, and they would arrive at a
+// link with no machine behind it.
+type jobReady struct {
+	Epoch uint32
+	Err   string
+}
+
+func putProfile(w *transport.Writer, p msg.CostProfile) {
+	w.Str(p.Name)
+	w.F64(p.FlopRate)
+	w.F64(p.TS)
+	w.F64(p.TW)
+	w.F64(p.TH)
+	w.I32(int32(p.Topology))
+	if p.StoreAndForward {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+func getProfile(r *transport.Reader) msg.CostProfile {
+	var p msg.CostProfile
+	p.Name = r.Str()
+	p.FlopRate = r.F64()
+	p.TS = r.F64()
+	p.TW = r.F64()
+	p.TH = r.F64()
+	p.Topology = msg.Topology(r.I32())
+	p.StoreAndForward = r.U8() != 0
+	return p
+}
+
+func putConfig(w *transport.Writer, c parbh.Config) {
+	w.I32(int32(c.Scheme))
+	w.I32(int32(c.Mode))
+	w.F64(c.Alpha)
+	w.I32(int32(c.Degree))
+	w.F64(c.Eps)
+	w.I32(int32(c.LeafCap))
+	w.I32(int32(c.GridLog2))
+	w.I32(int32(c.BinSize))
+	w.I32(int32(c.Shipping))
+	w.I32(int32(c.BranchLookup))
+	w.I32(int32(c.Ordering))
+	w.I32(int32(c.TreeBuild))
+}
+
+func getConfig(r *transport.Reader) parbh.Config {
+	var c parbh.Config
+	c.Scheme = parbh.Scheme(r.I32())
+	c.Mode = parbh.Mode(r.I32())
+	c.Alpha = r.F64()
+	c.Degree = int(r.I32())
+	c.Eps = r.F64()
+	c.LeafCap = int(r.I32())
+	c.GridLog2 = int(r.I32())
+	c.BinSize = int(r.I32())
+	c.Shipping = parbh.Shipping(r.I32())
+	c.BranchLookup = parbh.Lookup(r.I32())
+	c.Ordering = parbh.Ordering(r.I32())
+	c.TreeBuild = parbh.TreeBuild(r.I32())
+	return c
+}
+
+func putV3(w *transport.Writer, v vec.V3) {
+	w.F64(v.X)
+	w.F64(v.Y)
+	w.F64(v.Z)
+}
+
+func getV3(r *transport.Reader) vec.V3 {
+	return vec.V3{X: r.F64(), Y: r.F64(), Z: r.F64()}
+}
+
+func init() {
+	transport.Register(idJobStart,
+		func(w *transport.Writer, v jobStart) {
+			w.U32(v.Epoch)
+			w.Str(v.Job.Name)
+			w.I32(int32(v.Job.Ranks))
+			w.I32(int32(v.Job.Steps))
+			putProfile(w, v.Job.Profile)
+			putConfig(w, v.Job.Config)
+			putV3(w, v.Job.Domain.Min)
+			putV3(w, v.Job.Domain.Max)
+			w.Len(len(v.Job.Parts), v.Job.Parts == nil)
+			for _, q := range v.Job.Parts {
+				w.I64(int64(q.ID))
+				w.F64(q.Mass)
+				putV3(w, q.Pos)
+				putV3(w, q.Vel)
+			}
+		},
+		func(r *transport.Reader) (jobStart, error) {
+			var v jobStart
+			v.Epoch = r.U32()
+			v.Job.Name = r.Str()
+			v.Job.Ranks = int(r.I32())
+			v.Job.Steps = int(r.I32())
+			v.Job.Profile = getProfile(r)
+			v.Job.Config = getConfig(r)
+			v.Job.Domain.Min = getV3(r)
+			v.Job.Domain.Max = getV3(r)
+			n, notNil := r.SliceLen(8 * 8)
+			if notNil && r.Err() == nil {
+				v.Job.Parts = make([]dist.Particle, n)
+				for i := range v.Job.Parts {
+					q := &v.Job.Parts[i]
+					q.ID = int(r.I64())
+					q.Mass = r.F64()
+					q.Pos = getV3(r)
+					q.Vel = getV3(r)
+				}
+			}
+			return v, r.Err()
+		})
+	transport.Register(idStepCmd,
+		func(w *transport.Writer, v stepCmd) {
+			w.U32(v.Epoch)
+			w.I32(v.Step)
+		},
+		func(r *transport.Reader) (stepCmd, error) {
+			return stepCmd{Epoch: r.U32(), Step: r.I32()}, r.Err()
+		})
+	transport.Register(idEndJob,
+		func(w *transport.Writer, v endJob) { w.U32(v.Epoch) },
+		func(r *transport.Reader) (endJob, error) {
+			return endJob{Epoch: r.U32()}, r.Err()
+		})
+	transport.Register(idShutdown,
+		func(w *transport.Writer, v shutdown) {},
+		func(r *transport.Reader) (shutdown, error) { return shutdown{}, nil })
+	transport.Register(idJobReady,
+		func(w *transport.Writer, v jobReady) {
+			w.U32(v.Epoch)
+			w.Str(v.Err)
+		},
+		func(r *transport.Reader) (jobReady, error) {
+			return jobReady{Epoch: r.U32(), Err: r.Str()}, r.Err()
+		})
+}

@@ -280,6 +280,7 @@ func All(opt Options) ([]Table, error) {
 		{"treebuild", TreeBuildTable},
 		{"fmm", FMMTable},
 		{"serial", SerialTable},
+		{"transport", TransportTable},
 	}
 	var out []Table
 	for _, g := range gens {
@@ -312,6 +313,7 @@ func ByID(id string) (func(Options) (Table, error), bool) {
 		"treebuild": TreeBuildTable,
 		"fmm":       FMMTable,
 		"serial":    SerialTable,
+		"transport": TransportTable,
 	}
 	fn, ok := m[id]
 	return fn, ok

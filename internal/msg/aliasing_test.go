@@ -1,0 +1,88 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCopyOnSendDecouplesSenderBuffer pins the wire-semantics contract
+// for cross-process use: the payload is fully encoded (deep-copied) at
+// Send time, so the sender may reuse its buffer immediately and the
+// receiver still sees the original values. Remote sends always behave
+// this way (the frame is encoded before SendFrame returns); the
+// copy-on-send switch gives local delivery identical semantics so the
+// hazard can be asserted on an in-proc machine.
+func TestCopyOnSendDecouplesSenderBuffer(t *testing.T) {
+	m := NewMachine(2, Ideal())
+	m.SetCopyOnSend(true)
+	m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			buf := []float64{1, 2, 3}
+			p.Send(1, 7, buf, len(buf))
+			// Reuse the buffer immediately: the receiver of tag 7 must
+			// still observe {1,2,3}.
+			buf[0], buf[1], buf[2] = -9, -9, -9
+			p.Send(1, 8, buf, len(buf))
+		case 1:
+			v, _ := p.Recv(0, 7)
+			got := v.([]float64)
+			for i, want := range []float64{1, 2, 3} {
+				if got[i] != want {
+					t.Errorf("receiver saw mutated payload: got[%d] = %g, want %g", i, got[i], want)
+				}
+			}
+			v2, _ := p.Recv(0, 8)
+			if got2 := v2.([]float64); got2[0] != -9 {
+				t.Errorf("second send carried %g, want the reused buffer's -9", got2[0])
+			}
+		}
+	})
+}
+
+// TestDefaultLocalSendPassesByReference documents the zero-cost default
+// for the single-process machine: local delivery passes the payload by
+// reference. Formulations must therefore not mutate buffers after Send
+// — the copy-on-send and strict-wire tests prove they don't.
+func TestDefaultLocalSendPassesByReference(t *testing.T) {
+	m := NewMachine(2, Ideal())
+	m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			buf := []float64{1}
+			p.Send(1, 1, buf, 1)
+			p.Recv(1, 2) // receiver has captured the slice
+			buf[0] = 42
+			p.Send(1, 3, struct{}{}, 0)
+		case 1:
+			v, _ := p.Recv(0, 1)
+			got := v.([]float64)
+			p.Send(0, 2, struct{}{}, 0)
+			p.Recv(0, 3)
+			if got[0] != 42 {
+				t.Errorf("in-proc default copied the payload (got %g); expected reference passing", got[0])
+			}
+		}
+	})
+}
+
+// TestStrictWireRejectsUnregisteredPayload: with the strict-wire switch
+// on, sending any payload type without a transport codec panics at Send
+// time, even rank-locally — the guard behind the exhaustiveness test.
+func TestStrictWireRejectsUnregisteredPayload(t *testing.T) {
+	type notOnTheWire struct{ X int }
+	m := NewMachine(1, Ideal())
+	m.SetStrictWire(true)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("strict-wire Send of an unregistered type did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "no transport codec") {
+			t.Fatalf("panic = %v, want a no-transport-codec message", r)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		p.Send(0, 1, notOnTheWire{X: 1}, 1)
+	})
+}

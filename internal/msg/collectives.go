@@ -18,6 +18,16 @@ import "math/bits"
 
 const collTagBase = 1 << 20
 
+// pack is the recursive-doubling AllGather envelope: the set of
+// (rank, payload, words) triples a processor has accumulated so far.
+// It crosses process boundaries on distributed machines, so it has a
+// transport codec (codec.go).
+type pack struct {
+	ranks []int
+	items []any
+	words []int
+}
+
 // collTagStride reserves a block of tags per collective invocation so
 // multi-round collectives can use tag+round without colliding with the
 // next collective.
@@ -102,11 +112,6 @@ func (p *Proc) AllGather(payload any, words int) []any {
 	if n&(n-1) == 0 {
 		// Recursive doubling: at round k exchange everything held so far
 		// with the partner differing in bit k.
-		type pack struct {
-			ranks []int
-			items []any
-			words []int
-		}
 		held := []int{p.id}
 		for step := 1; step < n; step <<= 1 {
 			partner := p.id ^ step

@@ -26,6 +26,9 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
 )
 
 // Topology selects how hop counts are computed for the per-hop term of
@@ -244,11 +247,25 @@ type Stats struct {
 	Flops       float64 // flops charged
 }
 
-// Machine is a simulated multicomputer.
+// Machine is a simulated multicomputer. By default all P ranks run as
+// goroutines in this process and payloads pass by reference; a machine
+// built with NewNetworkMachine instead hosts a subset of the ranks and
+// ships frames to the rest through a Network (see netmachine.go).
 type Machine struct {
 	P       int
 	Profile CostProfile
 	boxes   []*mailbox
+
+	// Distributed-machine state; nil/zero for the in-proc default.
+	net        Network
+	localRanks []int  // ranks hosted here (nil means all)
+	isLocal    []bool // indexed by rank (nil means all local)
+
+	// Wire-semantics switches (see SetCopyOnSend, SetStrictWire).
+	copyOnSend bool
+	strictWire bool
+
+	failure atomic.Pointer[string] // transport failure, if any
 }
 
 // NewMachine creates a machine of p processors with the given profile.
@@ -264,15 +281,18 @@ func NewMachine(p int, profile CostProfile) *Machine {
 	return m
 }
 
-// Run executes body as an SPMD program: one goroutine per processor. It
-// returns the per-processor stats after all processors finish. A panic in
-// any processor is re-raised on the caller after the others are released.
+// Run executes body as an SPMD program: one goroutine per local
+// processor (every processor, for the in-proc default). It returns
+// per-processor stats indexed by rank; on a distributed machine only
+// local ranks are filled and the caller merges across processes. A
+// panic in any processor is re-raised on the caller after the others
+// are released.
 func (m *Machine) Run(body func(*Proc)) []Stats {
 	stats := make([]Stats, m.P)
 	var wg sync.WaitGroup
 	var panicMu sync.Mutex
 	var panicked any
-	for i := 0; i < m.P; i++ {
+	for _, i := range m.LocalRanks() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
@@ -385,6 +405,11 @@ func (p *Proc) Sleep(seconds float64) {
 // Send transmits payload to processor dst with the given tag. words is
 // the modelled message size in 8-byte words. The sender is charged the
 // startup latency; the payload arrives at the modelled transfer time.
+//
+// Message accounting and the arrival timestamp are computed here, on
+// the sender, under the machine's cost profile — never from transport
+// behaviour — so the simulated clock and comm volumes are identical
+// whether dst lives in this process or across a socket.
 func (p *Proc) Send(dst, tag int, payload any, words int) {
 	if dst < 0 || dst >= p.m.P {
 		panic(fmt.Sprintf("msg: send to invalid processor %d", dst))
@@ -401,6 +426,33 @@ func (p *Proc) Send(dst, tag int, payload any, words int) {
 		// Loopback: deliver without network cost beyond the startup.
 		arrival = p.now
 	}
+	if p.m.strictWire && !transport.Registered(payload) {
+		panic(fmt.Sprintf("msg: payload type %s sent by proc %d (tag %d) has no transport codec",
+			transport.TypeName(payload), p.id, tag))
+	}
+	if p.m.net != nil && !p.m.isLocal[dst] {
+		f := &transport.Frame{
+			Src:     int32(p.id),
+			Dst:     int32(dst),
+			Tag:     int32(tag),
+			Words:   int32(words),
+			Arrival: arrival,
+			Payload: payload,
+		}
+		// The frame is fully encoded before SendFrame returns, so the
+		// caller may reuse its buffers immediately.
+		if err := p.m.net.SendFrame(f); err != nil {
+			panic(fmt.Sprintf("msg: proc %d send to %d (tag %d): %v", p.id, dst, tag, err))
+		}
+		return
+	}
+	if p.m.copyOnSend {
+		cp, err := transport.RoundTrip(payload)
+		if err != nil {
+			panic(fmt.Sprintf("msg: proc %d send to %d (tag %d): copy-on-send: %v", p.id, dst, tag, err))
+		}
+		payload = cp
+	}
 	p.m.boxes[dst].put(message{src: p.id, tag: tag, payload: payload, words: words, arrival: arrival})
 }
 
@@ -411,7 +463,7 @@ func (p *Proc) Send(dst, tag int, payload any, words int) {
 func (p *Proc) Recv(src, tag int) (payload any, from int) {
 	msg, ok := p.m.boxes[p.id].take(src, tag, true)
 	if !ok {
-		panic("msg: machine stopped while receiving (peer panicked)")
+		panic(p.m.stopReason())
 	}
 	if msg.arrival > p.now {
 		p.stats.CommTime += msg.arrival - p.now
@@ -447,7 +499,7 @@ func (p *Proc) RecvTags(tags ...int) (payload any, from, tag int) {
 		return false
 	}, true)
 	if !ok {
-		panic("msg: machine stopped while receiving (peer panicked)")
+		panic(p.m.stopReason())
 	}
 	if msg.arrival > p.now {
 		p.stats.CommTime += msg.arrival - p.now

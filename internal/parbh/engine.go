@@ -233,8 +233,14 @@ func (e *Engine) Step() *Result {
 	forceTimes := make([]float64, p)
 	branchCounts := make([]int, p)
 	phaseTimes := make([][]float64, p)
-	var newOwner []int     // SPDA: next step's cluster assignment
-	var newBounds []uint64 // DPDA: next step's boundary keys
+	ownedIDs := make([][]int32, p) // distributed: IDs owned at force time
+	var newOwner []int             // SPDA: next step's cluster assignment
+	var newBounds []uint64         // DPDA: next step's boundary keys
+
+	// On a distributed machine only this process's ranks run here; the
+	// lowest local rank stands in for rank 0's once-per-process duties.
+	distributed := e.machine.Distributed()
+	leader := e.machine.Leader()
 
 	machineStats := e.machine.Run(func(pr *msg.Proc) {
 		st := &localState{me: pr.ID(), parts: e.parts[pr.ID()]}
@@ -257,6 +263,16 @@ func (e *Engine) Step() *Result {
 		e.forcePhase(pr, st, res)
 		mark()
 
+		if distributed {
+			// Snapshot ownership before loadBalance reshuffles st.parts:
+			// these are the particles whose results this rank computed.
+			ids := make([]int32, len(st.parts))
+			for i, q := range st.parts {
+				ids[i] = int32(q.ID)
+			}
+			ownedIDs[st.me] = ids
+		}
+
 		no, nb := e.loadBalance(pr, st)
 		mark()
 
@@ -265,11 +281,23 @@ func (e *Engine) Step() *Result {
 		forceTimes[st.me] = st.forceT
 		branchCounts[st.me] = len(st.branches)
 		phaseTimes[st.me] = marks
-		if st.me == 0 {
+		if st.me == leader {
 			newOwner = no
 			newBounds = nb
 		}
 	})
+
+	if distributed {
+		locals := make([]rankOut, 0, len(e.machine.LocalRanks()))
+		for _, rk := range e.machine.LocalRanks() {
+			locals = append(locals, localRankOut(e, rk, ownedIDs[rk],
+				machineStats[rk], procStats[rk], forceTimes[rk], branchCounts[rk], res))
+		}
+		if err := e.gatherOutputs(e.step, locals, res, machineStats,
+			procStats, forceTimes, branchCounts); err != nil {
+			panic(err)
+		}
+	}
 
 	// Persist the distribution for the next step.
 	e.parts = newParts
@@ -281,9 +309,9 @@ func (e *Engine) Step() *Result {
 	}
 	e.step++
 
-	// Assemble the result from processor 0's phase marks (identical on
+	// Assemble the result from the leader's phase marks (identical on
 	// all processors by construction of GlobalMaxTime).
-	marks := phaseTimes[0]
+	marks := phaseTimes[leader]
 	for i, name := range res.PhaseOrder {
 		res.Phases[name] = marks[i+1] - marks[i]
 	}

@@ -1,0 +1,124 @@
+package parbh
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// Distributed result collection. When the machine's ranks span OS
+// processes, each process finishes a step holding only its local ranks'
+// outputs: per-rank simulated stats, interaction counters, and the
+// force/potential values of the particles those ranks owned during the
+// force phase. The coordinator (process 0) needs all of them to
+// assemble the step Result.
+//
+// The gather runs over the transport's host channel — the untimed
+// control path — never through Proc.Send, so it adds nothing to the
+// simulated clock, message counts, or comm volumes. That is what keeps
+// a distributed run's simulated metrics bit-identical to the same run
+// in one process: the simulated interconnect carried exactly the same
+// traffic; only host-side plumbing differs.
+
+// rankOut is one rank's contribution to the step result.
+type rankOut struct {
+	Rank      int32
+	MsgStats  msg.Stats
+	TreeStats tree.Stats
+	ForceT    float64
+	Branches  int32
+	// Owned particles at force time: IDs aligned with F (force mode)
+	// or P (potential mode).
+	IDs []int32
+	F   []vec.V3
+	P   []float64
+}
+
+// stepOutputs bundles one process's local ranks for the gather. Step
+// guards against a frame from a mismatched step ever being merged.
+type stepOutputs struct {
+	Step int
+	Outs []rankOut
+}
+
+// localRankOut snapshots rank me's outputs after the force phase.
+// ownedIDs must be captured before loadBalance reshuffles st.parts.
+func localRankOut(e *Engine, me int, ownedIDs []int32, machineStat msg.Stats,
+	treeStat tree.Stats, forceT float64, branches int, res *Result) rankOut {
+
+	out := rankOut{
+		Rank:      int32(me),
+		MsgStats:  machineStat,
+		TreeStats: treeStat,
+		ForceT:    forceT,
+		Branches:  int32(branches),
+		IDs:       ownedIDs,
+	}
+	if res.Accels != nil {
+		out.F = make([]vec.V3, len(ownedIDs))
+		for i, id := range ownedIDs {
+			out.F[i] = res.Accels[id]
+		}
+	}
+	if res.Potentials != nil {
+		out.P = make([]float64, len(ownedIDs))
+		for i, id := range ownedIDs {
+			out.P[i] = res.Potentials[id]
+		}
+	}
+	return out
+}
+
+// gatherOutputs completes a distributed step: workers ship their local
+// rankOuts to the coordinator; the coordinator merges every remote
+// rank's stats and particle values into the shared step arrays. It
+// returns an error (instead of hanging) if the transport dies or a
+// process reports a mismatched step.
+func (e *Engine) gatherOutputs(step int, locals []rankOut, res *Result,
+	machineStats []msg.Stats, procStats []tree.Stats, forceTimes []float64,
+	branchCounts []int) error {
+
+	m := e.machine
+	if m.ProcID() != 0 {
+		return m.HostSend(0, stepOutputs{Step: step, Outs: locals})
+	}
+	needed := m.NumHostProcs() - 1
+	for got := 0; got < needed; {
+		src, payload, err := m.HostRecv()
+		if err != nil {
+			return fmt.Errorf("parbh: result gather for step %d: %w", step, err)
+		}
+		so, ok := payload.(stepOutputs)
+		if !ok {
+			// Not part of this protocol (e.g. a service-level control
+			// message that raced in); the engine owns the host channel
+			// during a step, so this is a wiring bug.
+			return fmt.Errorf("parbh: unexpected host payload %T from proc %d during step gather", payload, src)
+		}
+		if so.Step != step {
+			return fmt.Errorf("parbh: proc %d reported step %d during step %d gather", src, so.Step, step)
+		}
+		for _, out := range so.Outs {
+			rk := int(out.Rank)
+			if rk < 0 || rk >= len(machineStats) {
+				return fmt.Errorf("parbh: proc %d reported out-of-range rank %d", src, rk)
+			}
+			machineStats[rk] = out.MsgStats
+			procStats[rk] = out.TreeStats
+			forceTimes[rk] = out.ForceT
+			branchCounts[rk] = int(out.Branches)
+			for i, id := range out.IDs {
+				if out.F != nil {
+					res.Accels[id] = out.F[i]
+				}
+				if out.P != nil {
+					res.Potentials[id] = out.P[i]
+				}
+			}
+		}
+		got++
+	}
+	return nil
+}

@@ -61,6 +61,12 @@ type JobSpec struct {
 	// CheckpointEvery overrides the service's checkpoint interval in
 	// steps for this job (0 = service default).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Transport selects where the simulated machine's ranks live:
+	// inproc (default) runs them in this daemon; tcp spreads them over
+	// the worker processes attached to the daemon's cluster coordinator.
+	// A tcp job performs distributed force evaluations (no integration)
+	// and requires the daemon to be started with a cluster listener.
+	Transport string `json:"transport,omitempty"`
 }
 
 // MaxParticles bounds accepted job sizes; larger requests are rejected
@@ -118,6 +124,11 @@ func (s *JobSpec) Validate() error {
 	if _, err := s.shippingValue(); err != nil {
 		return err
 	}
+	switch strings.ToLower(s.Transport) {
+	case "", "inproc", "tcp":
+	default:
+		return fmt.Errorf("unknown transport %q (want inproc or tcp)", s.Transport)
+	}
 	// Dataset and integrator names are validated by their constructors.
 	if _, err := barneshut.NewNamed(s.Dist, 1, 1); err != nil {
 		return fmt.Errorf("unknown dist %q", s.Dist)
@@ -167,6 +178,12 @@ func (s *JobSpec) shippingValue() (barneshut.Shipping, error) {
 		return barneshut.DataShipping, nil
 	}
 	return 0, fmt.Errorf("unknown shipping %q (want function or data)", s.Shipping)
+}
+
+// distributed reports whether the spec asks for the TCP cluster
+// transport.
+func (s JobSpec) distributed() bool {
+	return strings.ToLower(s.Transport) == "tcp"
 }
 
 // SimConfig translates the spec into a barneshut.Config. The spec must

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // Metrics aggregates service counters and gauges. All fields are atomic
@@ -30,6 +32,11 @@ type Metrics struct {
 	Checkpoints    atomic.Int64
 	CheckpointByte atomic.Int64
 	machineMicros  atomic.Int64 // simulated machine time, microseconds
+
+	// transport, when set, adds the cluster coordinator's link counters
+	// to the exposition (host-clock only; the simulated cost model never
+	// sees them).
+	transport atomic.Pointer[transport.Metrics]
 }
 
 func newMetrics(clock Clock) *Metrics {
@@ -40,6 +47,10 @@ func newMetrics(clock Clock) *Metrics {
 func (m *Metrics) AddMachineTime(sec float64) {
 	m.machineMicros.Add(int64(sec * 1e6))
 }
+
+// SetTransport attaches the cluster transport's counters to the
+// exposition.
+func (m *Metrics) SetTransport(t *transport.Metrics) { m.transport.Store(t) }
 
 // Render writes the exposition text. Lines are sorted by metric name so
 // the output is diff-stable.
@@ -67,6 +78,20 @@ func (m *Metrics) Render() string {
 		"nbodyd_checkpoint_bytes_total":  fmt.Sprintf("%d", m.CheckpointByte.Load()),
 		"nbodyd_machine_seconds_total":   fmt.Sprintf("%.6f", float64(m.machineMicros.Load())/1e6),
 		"nbodyd_uptime_seconds":          fmt.Sprintf("%.3f", uptime),
+	}
+	if t := m.transport.Load(); t != nil {
+		snap := t.Snapshot()
+		rows["nbodyd_transport_frames_sent_total"] = fmt.Sprintf("%d", snap.FramesSent)
+		rows["nbodyd_transport_frames_recv_total"] = fmt.Sprintf("%d", snap.FramesRecv)
+		rows["nbodyd_transport_bytes_sent_total"] = fmt.Sprintf("%d", snap.BytesSent)
+		rows["nbodyd_transport_bytes_recv_total"] = fmt.Sprintf("%d", snap.BytesRecv)
+		rows["nbodyd_transport_dials_total"] = fmt.Sprintf("%d", snap.Dials)
+		rows["nbodyd_transport_dial_retries_total"] = fmt.Sprintf("%d", snap.DialRetries)
+		rows["nbodyd_transport_dial_failures_total"] = fmt.Sprintf("%d", snap.DialFailures)
+		rows["nbodyd_transport_heartbeats_total"] = fmt.Sprintf("%d", snap.Heartbeats)
+		rows["nbodyd_transport_conns_open"] = fmt.Sprintf("%d", snap.ConnsOpen)
+		rows["nbodyd_transport_rtt_p50_seconds"] = fmt.Sprintf("%.6g", snap.RTTp50)
+		rows["nbodyd_transport_rtt_p99_seconds"] = fmt.Sprintf("%.6g", snap.RTTp99)
 	}
 	names := make([]string, 0, len(rows))
 	for name := range rows {

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	barneshut "repro"
+	"repro/internal/cluster"
 )
 
 // Errors reported by the service API layer.
@@ -46,6 +47,10 @@ type Options struct {
 	Clock Clock
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
+	// Cluster, when non-nil, lets jobs with transport "tcp" run their
+	// ranks across the attached worker processes. Jobs requesting tcp
+	// while Cluster is nil are rejected at submission.
+	Cluster *cluster.Coordinator
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +88,10 @@ type Service struct {
 	stopping chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// clusterMu serializes distributed jobs: the coordinator drives one
+	// job across the worker processes at a time.
+	clusterMu sync.Mutex
 
 	// resume maps job ID to the simulation restored from the spool.
 	resume map[string]*barneshut.Simulation
@@ -171,6 +180,10 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 	if err := spec.Validate(); err != nil {
 		s.metrics.JobsInvalid.Add(1)
 		return Status{}, fmt.Errorf("invalid job: %w", err)
+	}
+	if spec.distributed() && s.opt.Cluster == nil {
+		s.metrics.JobsInvalid.Add(1)
+		return Status{}, fmt.Errorf("invalid job: transport tcp requires the daemon to run a cluster coordinator (-cluster-workers)")
 	}
 	j := newJob(newJobID(), spec, s.opt.Clock.Now())
 	if err := s.spool.PutSpec(j.ID, spec); err != nil {

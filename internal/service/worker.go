@@ -2,6 +2,8 @@ package service
 
 import (
 	barneshut "repro"
+	"repro/internal/cluster"
+	"repro/internal/parbh"
 )
 
 // worker drains the queue until Shutdown. Each dequeued job runs to a
@@ -50,6 +52,10 @@ func (s *Service) runJob(j *Job) {
 		return
 	}
 	spec := j.Spec
+	if spec.distributed() {
+		s.runClusterJob(j)
+		return
+	}
 	potential := spec.Mode == "potential"
 
 	// Resume from the spool-restored simulation when one exists.
@@ -125,6 +131,89 @@ func (s *Service) runJob(j *Job) {
 		Bodies:        sim.Bodies(),
 	}
 	s.finish(j, StateDone, res, "")
+}
+
+// runClusterJob executes one distributed job through the cluster
+// coordinator: every step is a force evaluation spread across the
+// attached worker processes. Distributed jobs do not integrate, so
+// there is no checkpoint state — an interrupted job restarts from step
+// zero on recovery (the spec is already in the spool).
+func (s *Service) runClusterJob(j *Job) {
+	spec := j.Spec
+	set, err := barneshut.NewNamed(spec.Dist, spec.N, spec.Seed)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	cfg, err := spec.SimConfig()
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	job := cluster.Job{
+		Name:    j.ID,
+		Ranks:   cfg.Processors,
+		Steps:   spec.Steps,
+		Profile: cfg.Profile,
+		Config: parbh.Config{
+			Scheme:       cfg.Scheme,
+			Mode:         cfg.Mode,
+			Alpha:        cfg.Alpha,
+			Degree:       cfg.Degree,
+			Eps:          cfg.Eps,
+			LeafCap:      cfg.LeafCap,
+			GridLog2:     cfg.GridLog2,
+			BinSize:      cfg.BinSize,
+			Shipping:     cfg.Shipping,
+			BranchLookup: cfg.BranchLookup,
+			Ordering:     cfg.Ordering,
+			TreeBuild:    cfg.TreeBuild,
+		},
+		Domain: set.Domain,
+		Parts:  set.Particles,
+	}
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	var machineTime float64
+	step := 0
+	stopped := false
+	_, err = s.opt.Cluster.Run(job, func(n int, res *barneshut.StepResult) bool {
+		select {
+		case <-s.stopping:
+			stopped = true
+			return false
+		default:
+		}
+		if j.canceled() {
+			return false
+		}
+		step++
+		machineTime += res.SimTime
+		s.metrics.StepsTotal.Add(1)
+		s.metrics.AddMachineTime(res.SimTime)
+		j.publish(Progress{
+			Step:        step,
+			Steps:       spec.Steps,
+			MachineTime: machineTime,
+			Efficiency:  res.Efficiency,
+			Imbalance:   res.Imbalance,
+			Phases:      res.Phases,
+			CommWords:   res.CommWords,
+		})
+		return true
+	})
+	switch {
+	case err != nil:
+		s.fail(j, err)
+	case stopped:
+		// Shutdown mid-job: no terminal transition; the spooled spec
+		// re-queues the job (from step zero) in the next daemon.
+		s.metrics.JobsRunning.Add(-1)
+	case j.canceled():
+		s.finish(j, StateCanceled, nil, "")
+	default:
+		s.finish(j, StateDone, &Result{Steps: step, MachineTime: machineTime, Bodies: set.Particles}, "")
+	}
 }
 
 // checkpoint persists the job's current simulation state to the spool.

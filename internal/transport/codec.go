@@ -1,0 +1,501 @@
+// Package transport is the point-to-point wire layer under the msg
+// Machine: a typed binary codec for every payload the SPMD formulations
+// exchange, a length-prefixed frame format, and two interchangeable
+// process-to-process links — an in-process mesh (tests, loopback) and a
+// TCP implementation with per-peer connection management (dial retry
+// with exponential backoff, heartbeats, graceful close).
+//
+// The two-clock rule extends here: everything in this package belongs to
+// the *host* clock. The simulated interconnect (ts + tw·m + th·hops) is
+// charged by package msg at send time and travels inside the frame as a
+// precomputed arrival timestamp, so the simulated time, interaction
+// stats, and communication volumes of a run are bit-identical whether
+// the machine's ranks share one process or are spread across many.
+// Frames, bytes, dials, retries, and heartbeat RTTs are host-side
+// observability only, exported through Metrics.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+)
+
+// Type IDs are fixed, process-independent, and must never be reused for
+// a different encoding: both ends of a connection resolve payloads by
+// these numbers alone. Blocks are assigned per package:
+//
+//	1–20   transport built-ins (scalars, plain slices)
+//	21–30  internal/msg collective envelopes
+//	31–50  internal/parbh wire structs
+//	51–60  internal/cluster control messages
+//
+// ID 0 is reserved for nil.
+const (
+	idNil     uint16 = 0
+	idBool    uint16 = 1
+	idInt     uint16 = 2
+	idInt32   uint16 = 3
+	idInt64   uint16 = 4
+	idUint64  uint16 = 5
+	idFloat64 uint16 = 6
+	idString  uint16 = 7
+	idBytes   uint16 = 8
+	idInts    uint16 = 9
+	idInt32s  uint16 = 10
+	idUint64s uint16 = 11
+	idF64s    uint16 = 12
+	idF64x2   uint16 = 13
+	idEmpty   uint16 = 14
+)
+
+// Writer is an append-only encode buffer. All integers are
+// little-endian and fixed-width; floats are IEEE-754 bit patterns, so a
+// round trip is bit-exact.
+type Writer struct{ b []byte }
+
+// Bytes returns the encoded contents.
+func (w *Writer) Bytes() []byte { return w.b }
+
+// Reset clears the buffer, keeping capacity.
+func (w *Writer) Reset() { w.b = w.b[:0] }
+
+func (w *Writer) U8(v uint8)   { w.b = append(w.b, v) }
+func (w *Writer) U16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *Writer) U32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *Writer) U64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *Writer) I32(v int32)  { w.U32(uint32(v)) }
+func (w *Writer) I64(v int64)  { w.U64(uint64(v)) }
+func (w *Writer) F64(v float64) {
+	w.U64(math.Float64bits(v))
+}
+
+// Len writes a slice length. Nil and empty slices are distinguished so
+// decoded values compare deep-equal to the originals.
+func (w *Writer) Len(n int, isNil bool) {
+	if isNil {
+		w.U32(nilLen)
+		return
+	}
+	w.U32(uint32(n))
+}
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Raw appends raw bytes with a length prefix.
+func (w *Writer) Raw(b []byte) {
+	w.Len(len(b), b == nil)
+	w.b = append(w.b, b...)
+}
+
+// nilLen is the length-prefix sentinel for nil slices.
+const nilLen = 0xFFFFFFFF
+
+// Reader decodes a buffer written by Writer. Errors are sticky: after
+// the first failure every subsequent read returns zero values and Err
+// reports the failure. Length prefixes are validated against the bytes
+// actually remaining, so a corrupt length cannot drive allocation
+// beyond the input size.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.fail("transport: truncated input: need %d bytes, have %d", n, r.Remaining())
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *Reader) I32() int32   { return int32(r.U32()) }
+func (r *Reader) I64() int64   { return int64(r.U64()) }
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// SliceLen reads a slice length written by Writer.Len and validates it
+// against the remaining input at elemSize bytes per element. It returns
+// (-1, false) for nil slices and (n, true) otherwise; on a bogus length
+// the reader fails and (0, true) is returned.
+func (r *Reader) SliceLen(elemSize int) (n int, notNil bool) {
+	v := r.U32()
+	if r.err != nil {
+		return 0, true
+	}
+	if v == nilLen {
+		return -1, false
+	}
+	n = int(v)
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n > r.Remaining()/elemSize {
+		r.fail("transport: slice length %d exceeds remaining input (%d bytes, elem size %d)",
+			n, r.Remaining(), elemSize)
+		return 0, true
+	}
+	return n, true
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n, _ := r.SliceLen(1)
+	if r.err != nil || n <= 0 {
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// Raw reads bytes written by Writer.Raw.
+func (r *Reader) Raw() []byte {
+	n, notNil := r.SliceLen(1)
+	if r.err != nil || !notNil {
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// codecEntry binds one concrete Go type to its wire identity.
+type codecEntry struct {
+	id   uint16
+	name string
+	typ  reflect.Type
+	enc  func(*Writer, any)
+	dec  func(*Reader) (any, error)
+}
+
+var registry struct {
+	sync.RWMutex
+	byType map[reflect.Type]*codecEntry
+	byID   map[uint16]*codecEntry
+}
+
+func init() {
+	registry.byType = make(map[reflect.Type]*codecEntry)
+	registry.byID = make(map[uint16]*codecEntry)
+	registerBuiltins()
+}
+
+// Register binds type T to a fixed wire ID with explicit encode/decode
+// functions. It panics on a duplicate ID or type: wire identities are
+// global constants, and a collision is a build-time bug, not a runtime
+// condition. Packages register their payload types from init.
+func Register[T any](id uint16, enc func(*Writer, T), dec func(*Reader) (T, error)) {
+	var zero T
+	typ := reflect.TypeOf(zero)
+	if typ == nil {
+		panic("transport: cannot register interface type")
+	}
+	e := &codecEntry{
+		id:   id,
+		name: typ.String(),
+		typ:  typ,
+		enc:  func(w *Writer, v any) { enc(w, v.(T)) },
+		dec: func(r *Reader) (any, error) {
+			v, err := dec(r)
+			return v, err
+		},
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if id == idNil {
+		panic("transport: wire ID 0 is reserved for nil")
+	}
+	if prev, ok := registry.byID[id]; ok {
+		panic(fmt.Sprintf("transport: wire ID %d already bound to %s", id, prev.name))
+	}
+	if prev, ok := registry.byType[typ]; ok {
+		panic(fmt.Sprintf("transport: type %s already registered as ID %d", typ, prev.id))
+	}
+	registry.byID[id] = e
+	registry.byType[typ] = e
+}
+
+// Registered reports whether v's concrete type has a codec. A nil value
+// is always encodable.
+func Registered(v any) bool {
+	if v == nil {
+		return true
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	_, ok := registry.byType[reflect.TypeOf(v)]
+	return ok
+}
+
+// TypeName returns the registered name for diagnostics, or the
+// reflected type when unregistered.
+func TypeName(v any) string {
+	if v == nil {
+		return "nil"
+	}
+	return reflect.TypeOf(v).String()
+}
+
+// EncodeAny writes v's wire ID and body. It returns an error for
+// unregistered types — the caller decides whether that is fatal (a
+// remote send) or fine (an in-process reference pass).
+func EncodeAny(w *Writer, v any) error {
+	if v == nil {
+		w.U16(idNil)
+		return nil
+	}
+	registry.RLock()
+	e, ok := registry.byType[reflect.TypeOf(v)]
+	registry.RUnlock()
+	if !ok {
+		return fmt.Errorf("transport: no codec registered for %s", reflect.TypeOf(v))
+	}
+	w.U16(e.id)
+	e.enc(w, v)
+	return nil
+}
+
+// MustEncodeAny is EncodeAny for use inside codec functions (whose
+// signatures have no error path): an unregistered nested type panics
+// with the offending type name. The codec exhaustiveness tests keep
+// this from firing in production paths.
+func MustEncodeAny(w *Writer, v any) {
+	if err := EncodeAny(w, v); err != nil {
+		panic(err.Error())
+	}
+}
+
+// DecodeAny reads one value written by EncodeAny.
+func DecodeAny(r *Reader) (any, error) {
+	id := r.U16()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if id == idNil {
+		return nil, nil
+	}
+	registry.RLock()
+	e, ok := registry.byID[id]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown wire ID %d", id)
+	}
+	v, err := e.dec(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Marshal encodes a single registered value to bytes.
+func Marshal(v any) ([]byte, error) {
+	var w Writer
+	if err := EncodeAny(&w, v); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes a single value from bytes, requiring full
+// consumption of the input.
+func Unmarshal(b []byte) (any, error) {
+	r := NewReader(b)
+	v, err := DecodeAny(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after payload", r.Remaining())
+	}
+	return v, nil
+}
+
+// RoundTrip deep-copies a registered value through its codec: the
+// canonical "fully encoded at send time" semantics. The returned value
+// shares no mutable state with the input.
+func RoundTrip(v any) (any, error) {
+	b, err := Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(b)
+}
+
+// registerBuiltins installs codecs for the scalar and plain-slice
+// payloads the collectives exchange.
+func registerBuiltins() {
+	Register(idBool,
+		func(w *Writer, v bool) {
+			if v {
+				w.U8(1)
+			} else {
+				w.U8(0)
+			}
+		},
+		func(r *Reader) (bool, error) { return r.U8() != 0, r.Err() })
+	Register(idInt,
+		func(w *Writer, v int) { w.I64(int64(v)) },
+		func(r *Reader) (int, error) { return int(r.I64()), r.Err() })
+	Register(idInt32,
+		func(w *Writer, v int32) { w.I32(v) },
+		func(r *Reader) (int32, error) { return r.I32(), r.Err() })
+	Register(idInt64,
+		func(w *Writer, v int64) { w.I64(v) },
+		func(r *Reader) (int64, error) { return r.I64(), r.Err() })
+	Register(idUint64,
+		func(w *Writer, v uint64) { w.U64(v) },
+		func(r *Reader) (uint64, error) { return r.U64(), r.Err() })
+	Register(idFloat64,
+		func(w *Writer, v float64) { w.F64(v) },
+		func(r *Reader) (float64, error) { return r.F64(), r.Err() })
+	Register(idString,
+		func(w *Writer, v string) { w.Str(v) },
+		func(r *Reader) (string, error) { return r.Str(), r.Err() })
+	Register(idBytes,
+		func(w *Writer, v []byte) { w.Raw(v) },
+		func(r *Reader) ([]byte, error) { return r.Raw(), r.Err() })
+	Register(idInts,
+		func(w *Writer, v []int) {
+			w.Len(len(v), v == nil)
+			for _, x := range v {
+				w.I64(int64(x))
+			}
+		},
+		func(r *Reader) ([]int, error) {
+			n, notNil := r.SliceLen(8)
+			if !notNil || r.Err() != nil {
+				return nil, r.Err()
+			}
+			out := make([]int, n)
+			for i := range out {
+				out[i] = int(r.I64())
+			}
+			return out, r.Err()
+		})
+	Register(idInt32s,
+		func(w *Writer, v []int32) {
+			w.Len(len(v), v == nil)
+			for _, x := range v {
+				w.I32(x)
+			}
+		},
+		func(r *Reader) ([]int32, error) {
+			n, notNil := r.SliceLen(4)
+			if !notNil || r.Err() != nil {
+				return nil, r.Err()
+			}
+			out := make([]int32, n)
+			for i := range out {
+				out[i] = r.I32()
+			}
+			return out, r.Err()
+		})
+	Register(idUint64s,
+		func(w *Writer, v []uint64) {
+			w.Len(len(v), v == nil)
+			for _, x := range v {
+				w.U64(x)
+			}
+		},
+		func(r *Reader) ([]uint64, error) {
+			n, notNil := r.SliceLen(8)
+			if !notNil || r.Err() != nil {
+				return nil, r.Err()
+			}
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = r.U64()
+			}
+			return out, r.Err()
+		})
+	Register(idF64s,
+		func(w *Writer, v []float64) {
+			w.Len(len(v), v == nil)
+			for _, x := range v {
+				w.F64(x)
+			}
+		},
+		func(r *Reader) ([]float64, error) {
+			n, notNil := r.SliceLen(8)
+			if !notNil || r.Err() != nil {
+				return nil, r.Err()
+			}
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = r.F64()
+			}
+			return out, r.Err()
+		})
+	Register(idF64x2,
+		func(w *Writer, v [2]float64) { w.F64(v[0]); w.F64(v[1]) },
+		func(r *Reader) ([2]float64, error) {
+			return [2]float64{r.F64(), r.F64()}, r.Err()
+		})
+	Register(idEmpty,
+		func(w *Writer, v struct{}) {},
+		func(r *Reader) (struct{}, error) { return struct{}{}, nil })
+}

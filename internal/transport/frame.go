@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. Data frames carry a simulated-machine message between
+// two ranks; host frames carry untimed control traffic between
+// processes (job setup, result gathers). The rest are connection
+// plumbing: the join handshake, liveness probes, and graceful close.
+const (
+	KindData    uint8 = 1
+	KindHost    uint8 = 2
+	KindHello   uint8 = 3 // worker → coordinator: join request
+	KindWelcome uint8 = 4 // coordinator → worker: proc ID + topology
+	KindIdent   uint8 = 5 // first frame on a dialed conn: who is calling
+	KindPing    uint8 = 6
+	KindPong    uint8 = 7
+	KindBye     uint8 = 8 // graceful close
+)
+
+// MaxFrame caps the decoded size of a single frame body. A corrupt or
+// hostile length prefix therefore cannot drive an allocation beyond
+// this bound. 256 MiB comfortably covers the largest particle
+// migrations at paper scale.
+const MaxFrame = 256 << 20
+
+// frameHeaderLen is the wire overhead per frame: u32 body length plus
+// u8 kind.
+const frameHeaderLen = 5
+
+// Frame is one simulated-machine message in flight between processes.
+// Src/Dst are machine ranks; Arrival is the simulated-clock delivery
+// timestamp, computed on the sender under the machine's cost model so
+// that the simulated interconnect is independent of the real one.
+// Epoch tags the job incarnation: frames from a previous job on a
+// reused connection are dropped by the receiver.
+type Frame struct {
+	Epoch   uint32
+	Src     int32
+	Dst     int32
+	Tag     int32
+	Words   int32
+	Arrival float64
+	Payload any
+}
+
+// AppendFrame encodes f as a length-prefixed data frame onto buf.
+func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
+	w := Writer{b: buf}
+	w.U32(0) // body length, patched below
+	w.U8(KindData)
+	start := len(w.b)
+	w.U32(f.Epoch)
+	w.I32(f.Src)
+	w.I32(f.Dst)
+	w.I32(f.Tag)
+	w.I32(f.Words)
+	w.F64(f.Arrival)
+	if err := EncodeAny(&w, f.Payload); err != nil {
+		return buf, err
+	}
+	body := len(w.b) - start
+	if body > MaxFrame {
+		return buf, fmt.Errorf("transport: frame body %d exceeds MaxFrame %d", body, MaxFrame)
+	}
+	binary.LittleEndian.PutUint32(w.b[start-frameHeaderLen:], uint32(body))
+	return w.b, nil
+}
+
+// DecodeFrame parses a data-frame body produced by AppendFrame (the
+// bytes after the header). It never panics on corrupt input and never
+// allocates beyond the input size plus decoded-value overhead.
+func DecodeFrame(body []byte) (*Frame, error) {
+	if len(body) > MaxFrame {
+		return nil, fmt.Errorf("transport: frame body %d exceeds MaxFrame %d", len(body), MaxFrame)
+	}
+	r := NewReader(body)
+	f := &Frame{
+		Epoch:   r.U32(),
+		Src:     r.I32(),
+		Dst:     r.I32(),
+		Tag:     r.I32(),
+		Words:   r.I32(),
+		Arrival: r.F64(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	p, err := DecodeAny(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after frame payload", r.Remaining())
+	}
+	f.Payload = p
+	return f, nil
+}
+
+// AppendControl encodes a non-data frame: kind plus an optional
+// registered payload (host messages, hello/welcome bodies) or raw bytes
+// (ping/pong timestamps).
+func AppendControl(buf []byte, kind uint8, payload any) ([]byte, error) {
+	w := Writer{b: buf}
+	w.U32(0)
+	w.U8(kind)
+	start := len(w.b)
+	if err := EncodeAny(&w, payload); err != nil {
+		return buf, err
+	}
+	body := len(w.b) - start
+	if body > MaxFrame {
+		return buf, fmt.Errorf("transport: frame body %d exceeds MaxFrame %d", body, MaxFrame)
+	}
+	binary.LittleEndian.PutUint32(w.b[start-frameHeaderLen:], uint32(body))
+	return w.b, nil
+}
+
+// ReadRaw reads one length-prefixed frame from r, returning its kind
+// and body bytes. Lengths beyond MaxFrame are rejected before any
+// allocation.
+func ReadRaw(r io.Reader) (kind uint8, body []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	kind = hdr[4]
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("transport: incoming frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	body = make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return kind, body, nil
+}
