@@ -49,6 +49,8 @@ func main() {
 		tListen  = flag.String("transport-listen", "127.0.0.1:0", "coordinator listen address (tcp transport)")
 		tWorkers = flag.Int("transport-workers", 1, "worker processes to wait for (tcp transport)")
 		tWait    = flag.Duration("transport-wait", 60*time.Second, "how long to wait for workers to join (tcp transport)")
+		tRetries = flag.Int("transport-retries", 3, "machine rebuilds after transport faults before the run fails (tcp transport)")
+		tStep    = flag.Duration("transport-step-timeout", 2*time.Minute, "watchdog on one distributed step; 0 disables (tcp transport)")
 	)
 	flag.Parse()
 
@@ -104,7 +106,7 @@ func main() {
 		if *resume != "" || *ckptPath != "" || *csvPath != "" {
 			fatal(fmt.Errorf("-resume/-checkpoint/-csv are not supported with -transport tcp"))
 		}
-		runTCP(set, cfg, *distName, *steps, *tListen, *tWorkers, *tWait, *verbose)
+		runTCP(set, cfg, *distName, *steps, *tListen, *tWorkers, *tWait, *tRetries, *tStep, *verbose)
 		return
 	default:
 		fatal(fmt.Errorf("unknown transport %q", *trans))
@@ -182,24 +184,37 @@ func main() {
 
 // runTCP drives the same force evaluation across real OS processes:
 // this process hosts the coordinator ranks, each joined nbodyworker
-// hosts a block of the rest. The simulated clock and interaction
-// statistics are bit-identical to the in-proc run of the same
-// configuration; the GOLDEN line makes that directly comparable.
-func runTCP(set *barneshut.ParticleSet, cfg barneshut.Config, distName string, steps int, listen string, workers int, wait time.Duration, verbose bool) {
+// hosts a block of the rest. The run is supervised: a transport fault
+// (worker crash, partition, stall) demolishes the machine generation,
+// waits for workers to rejoin, and resumes the job from the last
+// reported step by deterministic replay. The simulated clock and
+// interaction statistics are bit-identical to the in-proc run of the
+// same configuration — faults and recoveries included — and the GOLDEN
+// line makes that directly comparable.
+func runTCP(set *barneshut.ParticleSet, cfg barneshut.Config, distName string, steps int, listen string, workers int, wait time.Duration, retries int, stepTimeout time.Duration, verbose bool) {
 	if workers < 1 {
 		fatal(fmt.Errorf("-transport-workers must be at least 1"))
 	}
-	node, err := transport.NewCoordinator(transport.Config{ListenAddr: listen}, workers+1)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("nbody: coordinator on %s, waiting for %d worker(s)\n", node.Addr(), workers)
-	if err := node.WaitWorkers(wait); err != nil {
-		fatal(err)
-	}
-	coord, err := cluster.NewCoordinator(node)
-	if err != nil {
-		fatal(err)
+	// The assembler re-listens on the same resolved address after a
+	// fault so rejoining workers find the rebuilt coordinator.
+	listenAddr := listen
+	sup := cluster.NewSupervisor(func() (*cluster.Coordinator, error) {
+		node, err := transport.NewCoordinator(transport.Config{ListenAddr: listenAddr}, workers+1)
+		if err != nil {
+			return nil, err
+		}
+		listenAddr = node.Addr()
+		fmt.Printf("nbody: coordinator on %s, waiting for %d worker(s)\n", node.Addr(), workers)
+		if err := node.WaitWorkers(wait); err != nil {
+			node.Abort(err)
+			return nil, err
+		}
+		return cluster.NewCoordinator(node)
+	})
+	sup.MaxRetries = retries
+	sup.StepTimeout = stepTimeout
+	sup.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "nbody: "+format+"\n", args...)
 	}
 	job := cluster.Job{
 		Name:    distName,
@@ -226,7 +241,7 @@ func runTCP(set *barneshut.ParticleSet, cfg barneshut.Config, distName string, s
 	fmt.Printf("nbody: %s n=%d p=%d scheme=%v mode=%v machine=%s over %d processes\n",
 		distName, set.N(), cfg.Processors, cfg.Scheme, cfg.Mode, cfg.Profile.Name, workers+1)
 	start := time.Now()
-	last, err := coord.Run(job, func(step int, res *parbh.Result) bool {
+	last, err := sup.Run(job, func(step int, res *parbh.Result) bool {
 		fmt.Printf("step %2d: sim %.3fs  eff %.2f  speedup %.1f  imb %.2f  comm %.2f Mwords  F=%d\n",
 			step+1, res.SimTime, res.Efficiency, res.Speedup, res.Imbalance,
 			float64(res.CommWords)/1e6, res.Stats.Interactions())
@@ -238,17 +253,19 @@ func runTCP(set *barneshut.ParticleSet, cfg barneshut.Config, distName string, s
 		return true
 	})
 	if err != nil {
-		coord.Shutdown()
+		sup.Shutdown()
 		fatal(err)
 	}
 	fmt.Printf("GOLDEN simtime=%.17g mac=%d pc=%d pp=%d words=%d msgs=%d\n",
 		last.SimTime, last.Stats.MACTests, last.Stats.PC, last.Stats.PP,
 		last.CommWords, last.CommMessages)
-	m := node.Metrics().Snapshot()
-	fmt.Printf("transport: %d frames / %.2f MB sent, %d frames / %.2f MB received, %d dial(s), wall %.2fs\n",
-		m.FramesSent, float64(m.BytesSent)/1e6, m.FramesRecv, float64(m.BytesRecv)/1e6,
-		m.Dials, time.Since(start).Seconds())
-	if err := coord.Shutdown(); err != nil {
+	if tm := sup.Metrics(); tm != nil {
+		m := tm.Snapshot()
+		fmt.Printf("transport: %d frames / %.2f MB sent, %d frames / %.2f MB received, %d dial(s), wall %.2fs\n",
+			m.FramesSent, float64(m.BytesSent)/1e6, m.FramesRecv, float64(m.BytesRecv)/1e6,
+			m.Dials, time.Since(start).Seconds())
+	}
+	if err := sup.Shutdown(); err != nil {
 		fatal(err)
 	}
 }

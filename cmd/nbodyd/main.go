@@ -46,6 +46,9 @@ func main() {
 		cListen   = flag.String("cluster-listen", "127.0.0.1:0", "cluster coordinator listen address (with -cluster-workers)")
 		cWorkers  = flag.Int("cluster-workers", 0, "nbodyworker processes to wait for; 0 disables the tcp transport")
 		cWait     = flag.Duration("cluster-wait", 60*time.Second, "how long to wait for cluster workers to join")
+		cStep     = flag.Duration("cluster-step-timeout", 2*time.Minute, "watchdog on one distributed step (0 disables)")
+		jRetries  = flag.Int("job-retries", 3, "re-queues of a cluster job after transport faults before it fails")
+		jBackoff  = flag.Duration("retry-backoff", time.Second, "first re-queue delay, doubling per retry")
 	)
 	flag.Parse()
 
@@ -54,33 +57,49 @@ func main() {
 		QueueDepth:      *queue,
 		SpoolDir:        *spool,
 		CheckpointEvery: *ckptEvery,
+		MaxRetries:      *jRetries,
+		RetryBackoff:    *jBackoff,
 	}
-	var coord *cluster.Coordinator
-	var node *transport.Node
+	var sup *cluster.Supervisor
 	if *cWorkers > 0 {
-		var err error
-		node, err = transport.NewCoordinator(transport.Config{ListenAddr: *cListen}, *cWorkers+1)
-		if err != nil {
+		// The assembler builds one machine generation; after a fault the
+		// supervisor demolishes it and calls the assembler again, which
+		// must re-listen on the same resolved address so rejoining
+		// workers find it. Port 0 is pinned after the first listen.
+		listenAddr := *cListen
+		sup = cluster.NewSupervisor(func() (*cluster.Coordinator, error) {
+			node, err := transport.NewCoordinator(transport.Config{ListenAddr: listenAddr}, *cWorkers+1)
+			if err != nil {
+				return nil, err
+			}
+			listenAddr = node.Addr()
+			log.Printf("nbodyd: cluster coordinator on %s, waiting for %d worker(s)", node.Addr(), *cWorkers)
+			if err := node.WaitWorkers(*cWait); err != nil {
+				node.Abort(err)
+				return nil, err
+			}
+			log.Printf("nbodyd: cluster assembled: %d processes", node.NumProcs())
+			return cluster.NewCoordinator(node)
+		})
+		sup.Logf = log.Printf
+		sup.StepTimeout = *cStep
+		// The first generation comes up before the daemon serves: a
+		// misconfigured cluster should fail loudly at startup, not on the
+		// first job.
+		if err := sup.Ensure(); err != nil {
 			log.Fatalf("nbodyd: cluster: %v", err)
 		}
-		log.Printf("nbodyd: cluster coordinator on %s, waiting for %d worker(s)", node.Addr(), *cWorkers)
-		if err := node.WaitWorkers(*cWait); err != nil {
-			log.Fatalf("nbodyd: cluster: %v", err)
-		}
-		coord, err = cluster.NewCoordinator(node)
-		if err != nil {
-			log.Fatalf("nbodyd: cluster: %v", err)
-		}
-		opt.Cluster = coord
-		log.Printf("nbodyd: cluster assembled: %d processes", node.NumProcs())
+		opt.Cluster = sup
 	}
 
 	svc, err := service.New(opt)
 	if err != nil {
 		log.Fatalf("nbodyd: %v", err)
 	}
-	if node != nil {
-		svc.Metrics().SetTransport(node.Metrics())
+	if sup != nil {
+		// A getter, not a snapshot: each rebuilt generation brings fresh
+		// transport counters.
+		svc.Metrics().SetTransportFunc(sup.Metrics)
 	}
 	svc.Start()
 
@@ -108,8 +127,8 @@ func main() {
 	if err := svc.Shutdown(shutCtx); err != nil {
 		log.Printf("nbodyd: worker drain: %v", err)
 	}
-	if coord != nil {
-		if err := coord.Shutdown(); err != nil {
+	if sup != nil {
+		if err := sup.Shutdown(); err != nil {
 			log.Printf("nbodyd: cluster shutdown: %v", err)
 		}
 	}

@@ -28,30 +28,36 @@ func main() {
 		advertise = flag.String("advertise", "", "address peers should dial (defaults to the listen address)")
 		retries   = flag.Int("dial-retries", 8, "redial attempts after a failed dial")
 		timeout   = flag.Duration("dial-timeout", 5*time.Second, "per-attempt dial timeout")
+		rejoins   = flag.Int("rejoin", 5, "consecutive failed join/serve cycles before giving up (negative: forever)")
 		quiet     = flag.Bool("q", false, "suppress job progress logging")
 	)
 	flag.Parse()
 	if *join == "" {
 		fatal(fmt.Errorf("-join is required"))
 	}
-	cfg := transport.Config{
-		ListenAddr:    *listen,
-		AdvertiseAddr: *advertise,
-		DialTimeout:   *timeout,
-		DialRetries:   *retries,
-	}
-	node, err := transport.Join(*join, cfg)
-	if err != nil {
-		fatal(err)
-	}
-	logf := log.New(os.Stderr, fmt.Sprintf("nbodyworker[%d]: ", node.ProcID()), log.LstdFlags).Printf
+	logf := log.New(os.Stderr, "nbodyworker: ", log.LstdFlags).Printf
 	if *quiet {
 		logf = nil
-	} else {
-		logf("joined %s as proc %d of %d", *join, node.ProcID(), node.NumProcs())
 	}
-	err = cluster.Serve(node, logf)
-	node.Close()
+	// Each cycle joins the coordinator's current machine generation and
+	// serves it; when the generation dies under us (coordinator fault,
+	// peer crash) we abort the dead link and dial back in. A graceful
+	// shutdown from the coordinator ends the loop.
+	err := cluster.ServeLoop(func() (transport.Link, error) {
+		node, err := transport.Join(*join, transport.Config{
+			ListenAddr:    *listen,
+			AdvertiseAddr: *advertise,
+			DialTimeout:   *timeout,
+			DialRetries:   *retries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if logf != nil {
+			logf("joined %s as proc %d of %d", *join, node.ProcID(), node.NumProcs())
+		}
+		return node, nil
+	}, cluster.RejoinPolicy{Max: *rejoins}, logf)
 	if err != nil {
 		fatal(err)
 	}

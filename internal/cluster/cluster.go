@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/msg"
@@ -104,9 +106,31 @@ func (rn *RankNet) HostSend(dst int, payload any) error { return rn.link.HostSen
 func (rn *RankNet) HostRecv() (int, any, error) { return rn.link.HostRecv() }
 
 // Coordinator drives jobs from process 0 of an assembled transport.
+// It is not safe for concurrent use: one job at a time.
 type Coordinator struct {
 	link  transport.Link
 	epoch uint32
+
+	// SetupTimeout bounds how long the jobReady barrier waits for each
+	// control message; a worker that never acknowledges fails the job
+	// with a FaultStall instead of hanging it. Default 60s.
+	SetupTimeout time.Duration
+	// StepTimeout bounds one engine step on the coordinator. When it
+	// expires the machine is interrupted via context and the step
+	// returns a FaultStall error — the watchdog that detects a worker
+	// dying silently mid-step. 0 disables the watchdog.
+	StepTimeout time.Duration
+
+	// Control-message fetcher state (see recvHost).
+	pending  chan hostEvent
+	fetching bool
+}
+
+// hostEvent is one resolved HostRecv.
+type hostEvent struct {
+	src     int
+	payload any
+	err     error
 }
 
 // NewCoordinator wraps an assembled link (proc 0). For TCP the link
@@ -116,7 +140,41 @@ func NewCoordinator(link transport.Link) (*Coordinator, error) {
 	if link.ProcID() != 0 {
 		return nil, fmt.Errorf("cluster: coordinator must be proc 0, got %d", link.ProcID())
 	}
-	return &Coordinator{link: link}, nil
+	return &Coordinator{link: link, SetupTimeout: 60 * time.Second}, nil
+}
+
+// recvHost reads the next control message with a deadline. The fetch
+// runs on a helper goroutine; on timeout it stays outstanding and the
+// next recvHost consumes its result, so messages are never lost. Every
+// timeout is fatal for the current machine generation (the caller
+// abandons the job and the supervisor demolishes the link), which is
+// what bounds the orphaned fetch's lifetime.
+func (c *Coordinator) recvHost(timeout time.Duration) (int, any, error) {
+	if c.pending == nil {
+		c.pending = make(chan hostEvent, 1)
+	}
+	if !c.fetching {
+		c.fetching = true
+		pending := c.pending
+		go func() {
+			src, payload, err := c.link.HostRecv()
+			pending <- hostEvent{src: src, payload: payload, err: err}
+		}()
+	}
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case ev := <-c.pending:
+		c.fetching = false
+		return ev.src, ev.payload, ev.err
+	case <-expired:
+		return 0, nil, &transport.TransportError{Kind: transport.FaultStall, Proc: -1,
+			Err: fmt.Errorf("no control message within %v", timeout)}
+	}
 }
 
 // Run executes a job across the member processes and returns the final
@@ -124,11 +182,29 @@ func NewCoordinator(link transport.Link) (*Coordinator, error) {
 // the coordinator; returning false stops the job early (workers simply
 // receive endJob instead of another stepCmd).
 func (c *Coordinator) Run(job Job, onStep func(step int, res *parbh.Result) bool) (*parbh.Result, error) {
+	return c.RunFrom(job, 0, onStep)
+}
+
+// RunFrom executes a job, replaying steps before from silently: the
+// engine runs them (every step's state depends on its predecessors)
+// but they are not reported to onStep, because a previous incarnation
+// of the job already delivered them before a fault. Cluster jobs never
+// integrate particle state, so each step is a deterministic function
+// of the job and its index — the replay reproduces bit-identical
+// simulated metrics, which is the checkpoint-recovery invariant the
+// golden tests pin.
+func (c *Coordinator) RunFrom(job Job, from int, onStep func(step int, res *parbh.Result) bool) (*parbh.Result, error) {
 	if job.Steps <= 0 {
 		return nil, fmt.Errorf("cluster: job needs at least 1 step")
 	}
 	if len(job.Parts) == 0 {
 		return nil, fmt.Errorf("cluster: job has no particles")
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= job.Steps {
+		return nil, fmt.Errorf("cluster: resume step %d out of range (job has %d steps)", from, job.Steps)
 	}
 	c.epoch++
 	epoch := c.epoch
@@ -147,9 +223,11 @@ func (c *Coordinator) Run(job Job, onStep func(step int, res *parbh.Result) bool
 	}
 	// Barrier: every worker must have its engine built and handlers
 	// installed before any rank frame can flow, or early frames would
-	// hit a link with no machine behind it.
-	for i := 1; i < procs; i++ {
-		src, payload, err := c.link.HostRecv()
+	// hit a link with no machine behind it. Acks from stale epochs —
+	// stragglers of a job a previous machine generation abandoned — are
+	// skipped, not errors: epoch fencing applies to control traffic too.
+	for acks := 0; acks < procs-1; {
+		src, payload, err := c.recvHost(c.SetupTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: waiting for workers: %w", err)
 		}
@@ -158,7 +236,7 @@ func (c *Coordinator) Run(job Job, onStep func(step int, res *parbh.Result) bool
 			return nil, fmt.Errorf("cluster: proc %d sent %T during job setup, want jobReady", src, payload)
 		}
 		if ack.Epoch != epoch {
-			return nil, fmt.Errorf("cluster: proc %d acknowledged epoch %d, want %d", src, ack.Epoch, epoch)
+			continue // stale job incarnation
 		}
 		if ack.Err != "" {
 			for p := 1; p < procs; p++ {
@@ -166,6 +244,7 @@ func (c *Coordinator) Run(job Job, onStep func(step int, res *parbh.Result) bool
 			}
 			return nil, fmt.Errorf("cluster: proc %d failed to start job: %s", src, ack.Err)
 		}
+		acks++
 	}
 	var last *parbh.Result
 	var stepErr error
@@ -175,10 +254,13 @@ func (c *Coordinator) Run(job Job, onStep func(step int, res *parbh.Result) bool
 				return nil, fmt.Errorf("cluster: step %d on proc %d: %w", s, p, err)
 			}
 		}
-		res, err := runStep(eng)
+		res, err := c.runStep(eng)
 		if err != nil {
 			stepErr = err
 			break
+		}
+		if s < from {
+			continue // replayed: reported by the pre-fault incarnation
 		}
 		last = res
 		if onStep != nil && !onStep(s, res) {
@@ -195,6 +277,39 @@ func (c *Coordinator) Run(job Job, onStep func(step int, res *parbh.Result) bool
 	}
 	return last, nil
 }
+
+// runStep executes one coordinator-side engine step under the step
+// watchdog: if the step outlives StepTimeout — a worker died without
+// its connection resetting, or frames were dropped on the floor — the
+// machine is cancelled via context and the step fails with FaultStall.
+func (c *Coordinator) runStep(eng *parbh.Engine) (*parbh.Result, error) {
+	if c.StepTimeout <= 0 {
+		return runStep(eng)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.StepTimeout)
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			if ctx.Err() == context.DeadlineExceeded {
+				eng.Machine().Interrupt(&transport.TransportError{Kind: transport.FaultStall, Proc: -1,
+					Err: fmt.Errorf("step exceeded %v: %w", c.StepTimeout, ctx.Err())})
+			}
+		case <-done:
+		}
+	}()
+	return runStep(eng)
+}
+
+// Abort demolishes the coordinator's machine generation ungracefully:
+// peers observe the loss and unwind. Used by the supervisor before
+// rebuilding; Shutdown remains the graceful path.
+func (c *Coordinator) Abort(err error) { c.link.Abort(err) }
+
+// Epoch returns the last job epoch issued by this coordinator.
+func (c *Coordinator) Epoch() uint32 { return c.epoch }
 
 // Shutdown releases the worker processes (they exit Serve) and closes
 // the coordinator's link.
@@ -221,15 +336,22 @@ func buildEngine(link transport.Link, epoch uint32, job Job) (*parbh.Engine, err
 	return parbh.New(machine, set, job.Config)
 }
 
-// runStep converts an engine panic (transport failure surfaces as one)
-// into an error so callers get a clean failure instead of a crash.
+// runStep executes one engine step. Transport failures come back as
+// typed errors from StepErr (their TransportError classification is
+// what supervisors key retry policy on); a genuine panic in the engine
+// is converted to an error too, so a worker reports and rejoins rather
+// than crashing its process.
 func runStep(eng *parbh.Engine) (res *parbh.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("cluster: step failed: %v", r)
 		}
 	}()
-	return eng.Step(), nil
+	res, err = eng.StepErr()
+	if err != nil {
+		err = fmt.Errorf("cluster: step failed: %w", err)
+	}
+	return res, err
 }
 
 // Serve runs a worker process's control loop until the coordinator

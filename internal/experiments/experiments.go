@@ -281,6 +281,7 @@ func All(opt Options) ([]Table, error) {
 		{"fmm", FMMTable},
 		{"serial", SerialTable},
 		{"transport", TransportTable},
+		{"faults", FaultsTable},
 	}
 	var out []Table
 	for _, g := range gens {
@@ -314,6 +315,7 @@ func ByID(id string) (func(Options) (Table, error), bool) {
 		"fmm":       FMMTable,
 		"serial":    SerialTable,
 		"transport": TransportTable,
+		"faults":    FaultsTable,
 	}
 	fn, ok := m[id]
 	return fn, ok

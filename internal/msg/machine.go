@@ -265,8 +265,17 @@ type Machine struct {
 	copyOnSend bool
 	strictWire bool
 
-	failure atomic.Pointer[string] // transport failure, if any
+	failure atomic.Pointer[failureCell] // transport failure or interrupt, if any
 }
+
+// failureCell boxes the first failure recorded against the machine.
+type failureCell struct{ err error }
+
+// stopPanic carries a machine-stop error up a rank's stack: Recv and
+// Send raise it when the machine has been poisoned (transport failure,
+// interrupt), and RunErr converts the unwinding into a returned error.
+// Any other panic value is a programming error and is re-raised.
+type stopPanic struct{ err error }
 
 // NewMachine creates a machine of p processors with the given profile.
 func NewMachine(p int, profile CostProfile) *Machine {
@@ -286,23 +295,44 @@ func NewMachine(p int, profile CostProfile) *Machine {
 // per-processor stats indexed by rank; on a distributed machine only
 // local ranks are filled and the caller merges across processes. A
 // panic in any processor is re-raised on the caller after the others
-// are released.
+// are released; a transport failure or Interrupt is raised as a panic
+// too (use RunErr to receive it as an error instead).
 func (m *Machine) Run(body func(*Proc)) []Stats {
+	stats, err := m.RunErr(body)
+	if err != nil {
+		panic(err)
+	}
+	return stats
+}
+
+// RunErr executes body like Run but contains machine-stop failures: a
+// transport fault or an Interrupt mid-run unwinds every local rank and
+// comes back as the returned error — the process never panics over a
+// dead interconnect. Genuine panics in the SPMD body (programming
+// errors) are still re-raised. After an error return the machine is
+// poisoned and must be discarded; after a nil return it is reset for
+// the next Run.
+func (m *Machine) RunErr(body func(*Proc)) ([]Stats, error) {
 	stats := make([]Stats, m.P)
 	var wg sync.WaitGroup
-	var panicMu sync.Mutex
+	var mu sync.Mutex
 	var panicked any
+	var stopped error
 	for _, i := range m.LocalRanks() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicMu.Lock()
-					if panicked == nil {
+					mu.Lock()
+					if sp, ok := r.(stopPanic); ok {
+						if stopped == nil {
+							stopped = sp.err
+						}
+					} else if panicked == nil {
 						panicked = fmt.Sprintf("proc %d: %v", id, r)
 					}
-					panicMu.Unlock()
+					mu.Unlock()
 					// Release peers blocked in Recv so the run can unwind.
 					for _, b := range m.boxes {
 						b.stop()
@@ -318,6 +348,12 @@ func (m *Machine) Run(body func(*Proc)) []Stats {
 	if panicked != nil {
 		panic(panicked)
 	}
+	if c := m.failure.Load(); c != nil {
+		return nil, fmt.Errorf("msg: machine stopped: %w", c.err)
+	}
+	if stopped != nil {
+		return nil, stopped
+	}
 	// Reset stop flags so the machine can be reused.
 	for _, b := range m.boxes {
 		b.mu.Lock()
@@ -326,7 +362,7 @@ func (m *Machine) Run(body func(*Proc)) []Stats {
 		b.head, b.dead = 0, 0
 		b.mu.Unlock()
 	}
-	return stats
+	return stats, nil
 }
 
 // MaxTime returns the parallel completion time implied by per-processor
@@ -442,7 +478,9 @@ func (p *Proc) Send(dst, tag int, payload any, words int) {
 		// The frame is fully encoded before SendFrame returns, so the
 		// caller may reuse its buffers immediately.
 		if err := p.m.net.SendFrame(f); err != nil {
-			panic(fmt.Sprintf("msg: proc %d send to %d (tag %d): %v", p.id, dst, tag, err))
+			err = fmt.Errorf("msg: proc %d send to %d (tag %d): %w", p.id, dst, tag, err)
+			p.m.fail(err)
+			panic(stopPanic{err})
 		}
 		return
 	}
@@ -463,7 +501,7 @@ func (p *Proc) Send(dst, tag int, payload any, words int) {
 func (p *Proc) Recv(src, tag int) (payload any, from int) {
 	msg, ok := p.m.boxes[p.id].take(src, tag, true)
 	if !ok {
-		panic(p.m.stopReason())
+		panic(stopPanic{p.m.stopErr()})
 	}
 	if msg.arrival > p.now {
 		p.stats.CommTime += msg.arrival - p.now
@@ -499,7 +537,7 @@ func (p *Proc) RecvTags(tags ...int) (payload any, from, tag int) {
 		return false
 	}, true)
 	if !ok {
-		panic(p.m.stopReason())
+		panic(stopPanic{p.m.stopErr()})
 	}
 	if msg.arrival > p.now {
 		p.stats.CommTime += msg.arrival - p.now

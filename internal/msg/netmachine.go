@@ -1,6 +1,7 @@
 package msg
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -51,8 +52,10 @@ type Network interface {
 // codec registry and shipped as frames. Remote payload types must be
 // registered with internal/transport or Send panics.
 //
-// If the transport fails mid-run, every local rank blocked in Recv
-// panics with the transport error — a clear failure, not a hang.
+// If the transport fails mid-run, every local rank blocked in Recv or
+// Send unwinds with the transport error: RunErr returns it, Run panics
+// with it — a clear failure, not a hang, and never a dead process when
+// the caller uses RunErr.
 func NewNetworkMachine(net Network, profile CostProfile) *Machine {
 	p := net.Ranks()
 	if p <= 0 {
@@ -99,10 +102,10 @@ func (m *Machine) deliverFrame(f *transport.Frame) {
 }
 
 // fail poisons the machine: every local rank blocked in Recv unblocks
-// and panics with reason instead of hanging on a dead interconnect.
+// and unwinds with the failure instead of hanging on a dead
+// interconnect. The first failure wins; later ones are dropped.
 func (m *Machine) fail(err error) {
-	s := err.Error()
-	m.failure.CompareAndSwap(nil, &s)
+	m.failure.CompareAndSwap(nil, &failureCell{err: err})
 	for _, b := range m.boxes {
 		if b != nil {
 			b.stop()
@@ -110,12 +113,31 @@ func (m *Machine) fail(err error) {
 	}
 }
 
-// stopReason renders the panic message for a Recv interrupted by stop.
-func (m *Machine) stopReason() string {
-	if s := m.failure.Load(); s != nil {
-		return fmt.Sprintf("msg: machine stopped: %s", *s)
+// Interrupt poisons the machine from outside the SPMD body: every
+// local rank unwinds with err and RunErr returns it. Watchdogs use
+// this to cancel a machine whose peers have gone silent — tie it to a
+// context by calling Interrupt(ctx.Err()) when the context is done.
+func (m *Machine) Interrupt(err error) {
+	if err == nil {
+		err = errors.New("msg: machine interrupted")
 	}
-	return "msg: machine stopped while receiving (peer panicked)"
+	m.fail(err)
+}
+
+// Err returns the failure that poisoned the machine, if any.
+func (m *Machine) Err() error {
+	if c := m.failure.Load(); c != nil {
+		return c.err
+	}
+	return nil
+}
+
+// stopErr renders the failure behind a Recv interrupted by stop.
+func (m *Machine) stopErr() error {
+	if c := m.failure.Load(); c != nil {
+		return fmt.Errorf("msg: machine stopped: %w", c.err)
+	}
+	return errors.New("msg: machine stopped while receiving (peer panicked)")
 }
 
 // Distributed reports whether this machine's ranks span processes.

@@ -209,7 +209,27 @@ func fromWire(ws []wireParticle) []dist.Particle {
 }
 
 // Step runs one parallel time-step and returns its results and timings.
+// A transport failure on a distributed machine is raised as a panic;
+// services that must survive faults use StepErr instead.
 func (e *Engine) Step() *Result {
+	res, err := e.StepErr()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Machine returns the engine's message-passing machine; supervisors use
+// it to interrupt a step whose peers have gone silent.
+func (e *Engine) Machine() *msg.Machine { return e.machine }
+
+// StepErr runs one parallel time-step, containing machine failures: a
+// transport fault (or an Interrupt from a watchdog) mid-step unwinds
+// every local rank and comes back as the error, leaving the process
+// alive. After an error the engine and its machine are poisoned and
+// must be rebuilt; the constant-particle job model makes that cheap —
+// a fresh engine silently replays to the failed step and resumes.
+func (e *Engine) StepErr() (*Result, error) {
 	p := e.machine.P
 	deg := e.cfg.degreeOrMonopole()
 
@@ -242,7 +262,7 @@ func (e *Engine) Step() *Result {
 	distributed := e.machine.Distributed()
 	leader := e.machine.Leader()
 
-	machineStats := e.machine.Run(func(pr *msg.Proc) {
+	machineStats, runErr := e.machine.RunErr(func(pr *msg.Proc) {
 		st := &localState{me: pr.ID(), parts: e.parts[pr.ID()]}
 		marks := make([]float64, 0, 8)
 		mark := func() { marks = append(marks, pr.GlobalMaxTime()) }
@@ -287,6 +307,10 @@ func (e *Engine) Step() *Result {
 		}
 	})
 
+	if runErr != nil {
+		return nil, runErr
+	}
+
 	if distributed {
 		locals := make([]rankOut, 0, len(e.machine.LocalRanks()))
 		for _, rk := range e.machine.LocalRanks() {
@@ -295,7 +319,7 @@ func (e *Engine) Step() *Result {
 		}
 		if err := e.gatherOutputs(e.step, locals, res, machineStats,
 			procStats, forceTimes, branchCounts); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 
@@ -360,7 +384,7 @@ func (e *Engine) Step() *Result {
 	} else {
 		res.Imbalance = 1
 	}
-	return res
+	return res, nil
 }
 
 // migrate enforces ownership: particles that drifted out of their

@@ -273,6 +273,14 @@ type Progress struct {
 	Phases map[string]float64 `json:"phases,omitempty"`
 	// CommWords is the last step's communication volume in 8-byte words.
 	CommWords int64 `json:"comm_words,omitempty"`
+	// Event marks out-of-band lifecycle moments on the progress stream;
+	// "recovery" is published when a cluster job survives a transport
+	// fault and is re-queued to resume from Step.
+	Event string `json:"event,omitempty"`
+	// Fault names the transport fault kind behind a recovery event.
+	Fault string `json:"fault,omitempty"`
+	// Retries is the number of fault recoveries this job has undergone.
+	Retries int `json:"retries,omitempty"`
 }
 
 // Result is the final output of a completed job.
@@ -301,8 +309,13 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	resumed   int // step count restored from a spool checkpoint
+	retries   int // transport-fault recoveries so far
 	progress  Progress
 	result    *Result
+	// Cluster jobs resume by deterministic replay from a step index; the
+	// pair below is the in-memory mirror of the cluster checkpoint.
+	clusterStep    int
+	clusterMachine float64
 	cancelled chan struct{} // closed by Cancel
 	subs      map[chan Progress]struct{}
 }
@@ -329,6 +342,7 @@ type Status struct {
 	Started     time.Time `json:"started,omitempty"`
 	Finished    time.Time `json:"finished,omitempty"`
 	ResumedFrom int       `json:"resumed_from,omitempty"`
+	Retries     int       `json:"retries,omitempty"`
 	Progress    Progress  `json:"progress"`
 }
 
@@ -345,6 +359,7 @@ func (j *Job) Status() Status {
 		Started:     j.started,
 		Finished:    j.finished,
 		ResumedFrom: j.resumed,
+		Retries:     j.retries,
 		Progress:    j.progress,
 	}
 }

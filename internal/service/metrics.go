@@ -27,16 +27,22 @@ type Metrics struct {
 	JobsCanceled   atomic.Int64
 	JobsQueued     atomic.Int64 // gauge
 	JobsRunning    atomic.Int64 // gauge
+	JobsRetried    atomic.Int64 // fault-recovery re-queues
 	Workers        atomic.Int64 // gauge (pool size)
 	StepsTotal     atomic.Int64
 	Checkpoints    atomic.Int64
 	CheckpointByte atomic.Int64
 	machineMicros  atomic.Int64 // simulated machine time, microseconds
 
-	// transport, when set, adds the cluster coordinator's link counters
-	// to the exposition (host-clock only; the simulated cost model never
-	// sees them).
-	transport atomic.Pointer[transport.Metrics]
+	// recoveries counts fault recoveries by transport.FaultKind.
+	recoveries [transport.FaultClosed + 1]atomic.Int64
+
+	// transportFn, when set, yields the cluster transport's counters for
+	// the exposition (host-clock only; the simulated cost model never
+	// sees them). It is a getter, not a pointer: the supervisor rebuilds
+	// the transport after a fault, so the live Metrics changes identity
+	// across machine generations.
+	transportFn atomic.Pointer[func() *transport.Metrics]
 }
 
 func newMetrics(clock Clock) *Metrics {
@@ -48,9 +54,27 @@ func (m *Metrics) AddMachineTime(sec float64) {
 	m.machineMicros.Add(int64(sec * 1e6))
 }
 
-// SetTransport attaches the cluster transport's counters to the
-// exposition.
-func (m *Metrics) SetTransport(t *transport.Metrics) { m.transport.Store(t) }
+// SetTransport attaches a fixed transport Metrics to the exposition.
+// Prefer SetTransportFunc when the transport can be rebuilt (supervised
+// cluster coordinators replace their link — and its counters — on every
+// recovery).
+func (m *Metrics) SetTransport(t *transport.Metrics) {
+	m.SetTransportFunc(func() *transport.Metrics { return t })
+}
+
+// SetTransportFunc attaches a getter for the live cluster transport's
+// counters; it is consulted at render time so rebuilt generations are
+// always the ones exposed. The getter may return nil (no live
+// generation).
+func (m *Metrics) SetTransportFunc(fn func() *transport.Metrics) { m.transportFn.Store(&fn) }
+
+// RecordRecovery counts one fault recovery by kind.
+func (m *Metrics) RecordRecovery(kind transport.FaultKind) {
+	if kind < 0 || int(kind) >= len(m.recoveries) {
+		kind = transport.FaultNone
+	}
+	m.recoveries[kind].Add(1)
+}
 
 // Render writes the exposition text. Lines are sorted by metric name so
 // the output is diff-stable.
@@ -78,8 +102,17 @@ func (m *Metrics) Render() string {
 		"nbodyd_checkpoint_bytes_total":  fmt.Sprintf("%d", m.CheckpointByte.Load()),
 		"nbodyd_machine_seconds_total":   fmt.Sprintf("%.6f", float64(m.machineMicros.Load())/1e6),
 		"nbodyd_uptime_seconds":          fmt.Sprintf("%.3f", uptime),
+		"nbodyd_jobs_retried_total":      fmt.Sprintf("%d", m.JobsRetried.Load()),
 	}
-	if t := m.transport.Load(); t != nil {
+	for kind := transport.FaultPeerLost; kind <= transport.FaultClosed; kind++ {
+		name := fmt.Sprintf("nbodyd_recoveries_%s_total", kind)
+		rows[name] = fmt.Sprintf("%d", m.recoveries[kind].Load())
+	}
+	var t *transport.Metrics
+	if fn := m.transportFn.Load(); fn != nil {
+		t = (*fn)()
+	}
+	if t != nil {
 		snap := t.Snapshot()
 		rows["nbodyd_transport_frames_sent_total"] = fmt.Sprintf("%d", snap.FramesSent)
 		rows["nbodyd_transport_frames_recv_total"] = fmt.Sprintf("%d", snap.FramesRecv)
@@ -92,6 +125,12 @@ func (m *Metrics) Render() string {
 		rows["nbodyd_transport_conns_open"] = fmt.Sprintf("%d", snap.ConnsOpen)
 		rows["nbodyd_transport_rtt_p50_seconds"] = fmt.Sprintf("%.6g", snap.RTTp50)
 		rows["nbodyd_transport_rtt_p99_seconds"] = fmt.Sprintf("%.6g", snap.RTTp99)
+		rows["nbodyd_transport_faults_dropped_total"] = fmt.Sprintf("%d", snap.FaultsDropped)
+		rows["nbodyd_transport_faults_duplicated_total"] = fmt.Sprintf("%d", snap.FaultsDuplicated)
+		rows["nbodyd_transport_faults_delayed_total"] = fmt.Sprintf("%d", snap.FaultsDelayed)
+		rows["nbodyd_transport_faults_corrupted_total"] = fmt.Sprintf("%d", snap.FaultsCorrupted)
+		rows["nbodyd_transport_faults_deduped_total"] = fmt.Sprintf("%d", snap.FaultsDeduped)
+		rows["nbodyd_transport_faults_partitions_total"] = fmt.Sprintf("%d", snap.FaultsPartitions)
 	}
 	names := make([]string, 0, len(rows))
 	for name := range rows {

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/transport"
+)
+
+// chaosCluster builds a cluster supervisor over an in-memory mesh whose
+// first machine generation carries the given worker fault plan; later
+// generations are clean. Supervisor-level retries stay at zero so every
+// transport fault surfaces to the service, exercising its re-queue path.
+func chaosCluster(t *testing.T, firstGen transport.FaultPlan) *cluster.Supervisor {
+	t.Helper()
+	var (
+		mu   sync.Mutex
+		gens int
+		wg   sync.WaitGroup
+	)
+	sup := cluster.NewSupervisor(func() (*cluster.Coordinator, error) {
+		mu.Lock()
+		gen := gens
+		gens++
+		mu.Unlock()
+		nodes := transport.NewMesh(2)
+		plan := transport.FaultPlan{}
+		if gen == 0 {
+			plan = firstGen
+		}
+		links := []*transport.FaultLink{
+			transport.NewFaultLink(nodes[0], transport.FaultPlan{}),
+			transport.NewFaultLink(nodes[1], plan),
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cluster.Serve(links[1], nil); err != nil {
+				links[1].Abort(err)
+			} else {
+				links[1].Close()
+			}
+		}()
+		return cluster.NewCoordinator(links[0])
+	})
+	t.Cleanup(func() {
+		sup.Shutdown()
+		wg.Wait()
+	})
+	return sup
+}
+
+// TestClusterJobRetriesAfterFault: a transport fault on the first
+// machine generation fails the running distributed job; the service
+// re-queues it with backoff, resumes from the checkpointed step, and
+// the job still completes — with the retry visible in its status, the
+// recovery metrics, and the progress stream.
+func TestClusterJobRetriesAfterFault(t *testing.T) {
+	sup := chaosCluster(t, transport.FaultPlan{Seed: 11, PartitionAfter: 40})
+	svc := startService(t, Options{
+		Workers:      1,
+		Cluster:      sup,
+		MaxRetries:   3,
+		RetryBackoff: time.Millisecond,
+	})
+	svc.Metrics().SetTransportFunc(sup.Metrics)
+	spec := JobSpec{
+		Dist: "uniform", N: 96, Processors: 2, Scheme: "dpda",
+		Machine: "ideal", Steps: 3, Eps: 0.05, Seed: 3,
+		Transport: "tcp",
+	}
+	st, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "faulted cluster job done", func() bool {
+		s, err := svc.Get(st.ID)
+		return err == nil && s.State == StateDone
+	})
+	final, err := svc.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Retries < 1 {
+		t.Errorf("status records %d retries, want >= 1", final.Retries)
+	}
+	if final.Progress.Step != 3 {
+		t.Errorf("final step %d, want 3", final.Progress.Step)
+	}
+	if got := svc.Metrics().JobsRetried.Load(); got < 1 {
+		t.Errorf("JobsRetried = %d, want >= 1", got)
+	}
+	// The worker's injected partition reaches the coordinator as peer
+	// loss — the partitioned worker aborts and the coordinator observes
+	// the death, exactly as a TCP connection reset would land.
+	body := svc.Metrics().Render()
+	if !strings.Contains(body, "nbodyd_recoveries_peer_lost_total 1") {
+		t.Errorf("metrics missing peer_lost recovery row:\n%s", body)
+	}
+	if !strings.Contains(body, "nbodyd_transport_faults_partitions_total") {
+		t.Errorf("metrics missing transport fault rows:\n%s", body)
+	}
+}
+
+// TestClusterJobFailsAfterRetryBudget: when every generation faults,
+// the job is failed — not retried forever — and the process survives.
+func TestClusterJobFailsAfterRetryBudget(t *testing.T) {
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	sup := cluster.NewSupervisor(func() (*cluster.Coordinator, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		nodes := transport.NewMesh(2)
+		links := []*transport.FaultLink{
+			transport.NewFaultLink(nodes[0], transport.FaultPlan{}),
+			transport.NewFaultLink(nodes[1], transport.FaultPlan{Seed: 5, PartitionAfter: 10}),
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cluster.Serve(links[1], nil); err != nil {
+				links[1].Abort(err)
+			} else {
+				links[1].Close()
+			}
+		}()
+		return cluster.NewCoordinator(links[0])
+	})
+	t.Cleanup(func() {
+		sup.Shutdown()
+		wg.Wait()
+	})
+	svc := startService(t, Options{
+		Workers:      1,
+		Cluster:      sup,
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+	})
+	spec := JobSpec{
+		Dist: "uniform", N: 96, Processors: 2, Scheme: "dpda",
+		Machine: "ideal", Steps: 3, Eps: 0.05, Seed: 3,
+		Transport: "tcp",
+	}
+	st, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "exhausted cluster job failed", func() bool {
+		s, err := svc.Get(st.ID)
+		return err == nil && s.State == StateFailed
+	})
+	final, err := svc.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Retries != 2 {
+		t.Errorf("retries = %d, want 2 (the full budget)", final.Retries)
+	}
+	if final.Error == "" {
+		t.Error("failed job carries no error")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	barneshut "repro"
 	"repro/internal/cluster"
@@ -49,8 +51,18 @@ type Options struct {
 	Logf func(format string, args ...any)
 	// Cluster, when non-nil, lets jobs with transport "tcp" run their
 	// ranks across the attached worker processes. Jobs requesting tcp
-	// while Cluster is nil are rejected at submission.
-	Cluster *cluster.Coordinator
+	// while Cluster is nil are rejected at submission. The supervisor
+	// owns generation rebuilds; the service owns job-level re-queueing,
+	// so the supervisor's own MaxRetries is typically left at zero.
+	Cluster *cluster.Supervisor
+	// MaxRetries caps automatic re-queues of a cluster job after
+	// transport-class faults before the job fails for good (default 3;
+	// negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the delay before the first re-queue, doubling per
+	// retry up to RetryBackoffMax (defaults 1s and 30s).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +77,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Clock == nil {
 		o.Clock = realClock{}
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Second
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 30 * time.Second
 	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
@@ -128,6 +152,13 @@ func New(opt Options) (*Service, error) {
 			j.progress.SimTime = rec.Sim.Time()
 			s.resume[rec.ID] = rec.Sim
 		}
+		if rec.Spec.distributed() {
+			// Cluster jobs resume by deterministic replay: the meta record
+			// alone pins the step index and the machine-time accumulator.
+			j.clusterStep = rec.Step
+			j.clusterMachine = rec.MachineTime
+			j.progress.MachineTime = rec.MachineTime
+		}
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j.ID)
 		s.queue <- j
@@ -185,7 +216,7 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 		s.metrics.JobsInvalid.Add(1)
 		return Status{}, fmt.Errorf("invalid job: transport tcp requires the daemon to run a cluster coordinator (-cluster-workers)")
 	}
-	j := newJob(newJobID(), spec, s.opt.Clock.Now())
+	j := newJob(s.newJobID(), spec, s.opt.Clock.Now())
 	if err := s.spool.PutSpec(j.ID, spec); err != nil {
 		return Status{}, fmt.Errorf("service: spooling job: %w", err)
 	}
@@ -305,13 +336,24 @@ func (s *Service) removeSpool(id string) {
 	}
 }
 
+// jobIDCounter disambiguates fallback job IDs minted in the same
+// nanosecond.
+var jobIDCounter atomic.Uint64
+
 // newJobID returns a random 12-hex-digit job ID. Randomness (not a
 // counter) keeps IDs collision-free across daemon restarts sharing a
-// spool.
-func newJobID() string {
+// spool. A crypto/rand failure is exotic, but a job daemon must not
+// crash on one: it degrades to time-seeded IDs — unique within this
+// process by the counter, collision-free across restarts merely with
+// high probability instead of cryptographically so.
+func (s *Service) newJobID() string {
 	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		panic(err) // crypto/rand failure is not recoverable
+		s.opt.Logf("nbodyd: crypto/rand failed (%v); falling back to time-seeded job IDs", err)
+		v := uint64(s.opt.Clock.Now().UnixNano())*0x9E3779B97F4A7C15 + jobIDCounter.Add(1)
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
 	}
 	return "j" + hex.EncodeToString(b[:])
 }

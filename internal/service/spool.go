@@ -26,9 +26,15 @@ type Spool struct {
 }
 
 // spoolMeta is the durable progress record accompanying a checkpoint.
+// For distributed (cluster) jobs it is the whole checkpoint: particles
+// never change, so a step index plus the accumulated simulated machine
+// time is enough to resume bit-identically by deterministic replay.
 type spoolMeta struct {
 	// Step is the number of completed steps at the last checkpoint.
 	Step int `json:"step"`
+	// MachineTime is the cumulative simulated machine seconds across
+	// those steps.
+	MachineTime float64 `json:"machine_time,omitempty"`
 }
 
 // NewSpool opens (creating if needed) a spool rooted at dir. An empty
@@ -86,6 +92,24 @@ func (sp *Spool) PutCheckpoint(id string, sim *barneshut.Simulation, step int) (
 	return n, nil
 }
 
+// PutClusterCheckpoint durably records a distributed job's resume point.
+// Cluster jobs carry no simulation state (particles are constant; every
+// step is a deterministic function of the job and the step index), so
+// the checkpoint is just the meta record.
+func (sp *Spool) PutClusterCheckpoint(id string, step int, machineTime float64) error {
+	if sp == nil {
+		return nil
+	}
+	if err := os.MkdirAll(sp.jobDir(id), 0o755); err != nil {
+		return err
+	}
+	meta, err := json.Marshal(spoolMeta{Step: step, MachineTime: machineTime})
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(sp.jobDir(id), "meta.json"), meta)
+}
+
 // Remove deletes a job's spool entry (terminal state reached).
 func (sp *Spool) Remove(id string) error {
 	if sp == nil {
@@ -103,6 +127,9 @@ type Recovered struct {
 	Sim *barneshut.Simulation
 	// Step is the durable completed-step count at the checkpoint.
 	Step int
+	// MachineTime is the simulated machine seconds accumulated over
+	// those steps (cluster jobs resume the accumulator from here).
+	MachineTime float64
 }
 
 // Scan returns every resumable job left in the spool, in directory
@@ -144,14 +171,16 @@ func (sp *Spool) Scan() (jobs []Recovered, errs []error) {
 			} else {
 				rec.Sim = sim
 				rec.Step = sim.Steps()
-				if meta, err := os.ReadFile(filepath.Join(sp.jobDir(id), "meta.json")); err == nil {
-					var m spoolMeta
-					if json.Unmarshal(meta, &m) == nil && m.Step > rec.Step {
-						// Potential-mode evaluations don't advance the
-						// simulation clock; the meta records them.
-						rec.Step = m.Step
-					}
-				}
+			}
+		}
+		// The meta record stands on its own: cluster jobs have no gob
+		// (their checkpoint is the step index), and potential-mode
+		// evaluations don't advance the simulation clock.
+		if meta, err := os.ReadFile(filepath.Join(sp.jobDir(id), "meta.json")); err == nil {
+			var m spoolMeta
+			if json.Unmarshal(meta, &m) == nil && m.Step > rec.Step {
+				rec.Step = m.Step
+				rec.MachineTime = m.MachineTime
 			}
 		}
 		jobs = append(jobs, rec)

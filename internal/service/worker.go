@@ -1,9 +1,12 @@
 package service
 
 import (
+	"time"
+
 	barneshut "repro"
 	"repro/internal/cluster"
 	"repro/internal/parbh"
+	"repro/internal/transport"
 )
 
 // worker drains the queue until Shutdown. Each dequeued job runs to a
@@ -134,10 +137,13 @@ func (s *Service) runJob(j *Job) {
 }
 
 // runClusterJob executes one distributed job through the cluster
-// coordinator: every step is a force evaluation spread across the
-// attached worker processes. Distributed jobs do not integrate, so
-// there is no checkpoint state — an interrupted job restarts from step
-// zero on recovery (the spec is already in the spool).
+// supervisor: every step is a force evaluation spread across the
+// attached worker processes. Distributed jobs do not integrate, so the
+// checkpoint is just a step index plus the machine-time accumulator —
+// resume replays the earlier steps deterministically (and silently)
+// and picks up reporting where the fault hit. A transport-class fault
+// re-queues the job with capped exponential backoff instead of failing
+// it, up to Options.MaxRetries times.
 func (s *Service) runClusterJob(j *Job) {
 	spec := j.Spec
 	set, err := barneshut.NewNamed(spec.Dist, spec.N, spec.Seed)
@@ -172,12 +178,22 @@ func (s *Service) runClusterJob(j *Job) {
 		Domain: set.Domain,
 		Parts:  set.Particles,
 	}
+	j.mu.Lock()
+	from := j.clusterStep
+	machineTime := j.clusterMachine
+	retries := j.retries
+	j.mu.Unlock()
+
+	ckptEvery := spec.CheckpointEvery
+	if ckptEvery == 0 {
+		ckptEvery = s.opt.CheckpointEvery
+	}
+
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
-	var machineTime float64
-	step := 0
+	step := from
 	stopped := false
-	_, err = s.opt.Cluster.Run(job, func(n int, res *barneshut.StepResult) bool {
+	_, err = s.opt.Cluster.RunFrom(job, from, func(n int, res *barneshut.StepResult) bool {
 		select {
 		case <-s.stopping:
 			stopped = true
@@ -187,7 +203,7 @@ func (s *Service) runClusterJob(j *Job) {
 		if j.canceled() {
 			return false
 		}
-		step++
+		step = n + 1
 		machineTime += res.SimTime
 		s.metrics.StepsTotal.Add(1)
 		s.metrics.AddMachineTime(res.SimTime)
@@ -199,21 +215,107 @@ func (s *Service) runClusterJob(j *Job) {
 			Imbalance:   res.Imbalance,
 			Phases:      res.Phases,
 			CommWords:   res.CommWords,
+			Retries:     retries,
 		})
+		if ckptEvery > 0 && step%ckptEvery == 0 && step < spec.Steps {
+			s.clusterCheckpoint(j, step, machineTime)
+		}
 		return true
 	})
 	switch {
 	case err != nil:
+		if s.retryClusterJob(j, step, machineTime, err) {
+			return
+		}
 		s.fail(j, err)
 	case stopped:
-		// Shutdown mid-job: no terminal transition; the spooled spec
-		// re-queues the job (from step zero) in the next daemon.
+		// Shutdown mid-job: persist the resume point without a terminal
+		// transition; the spooled spec + meta re-queue the job at this
+		// step in the next daemon.
+		s.clusterCheckpoint(j, step, machineTime)
 		s.metrics.JobsRunning.Add(-1)
 	case j.canceled():
 		s.finish(j, StateCanceled, nil, "")
 	default:
 		s.finish(j, StateDone, &Result{Steps: step, MachineTime: machineTime, Bodies: set.Particles}, "")
 	}
+}
+
+// retryClusterJob handles a cluster job's failure: when the cause is a
+// transport-class fault and the retry budget allows, it persists the
+// resume point, flips the job back to queued, announces the recovery on
+// the progress stream, and re-admits the job after a capped exponential
+// backoff. It reports whether the retry was scheduled; false means the
+// caller should fail the job (non-retryable fault or budget exhausted).
+func (s *Service) retryClusterJob(j *Job, step int, machineTime float64, cause error) bool {
+	if !transport.Retryable(cause) {
+		return false
+	}
+	j.mu.Lock()
+	retries := j.retries
+	j.mu.Unlock()
+	if retries >= s.opt.MaxRetries {
+		return false
+	}
+	fault := transport.FaultKindOf(cause)
+	s.clusterCheckpoint(j, step, machineTime)
+	delay := retryDelay(s.opt.RetryBackoff, s.opt.RetryBackoffMax, retries)
+	j.mu.Lock()
+	j.retries++
+	retries = j.retries
+	j.clusterStep = step
+	j.clusterMachine = machineTime
+	j.state = StateQueued
+	j.mu.Unlock()
+	s.metrics.JobsRunning.Add(-1)
+	s.metrics.JobsQueued.Add(1)
+	s.metrics.JobsRetried.Add(1)
+	s.metrics.RecordRecovery(fault)
+	s.opt.Logf("nbodyd: job %s hit %s fault at step %d (retry %d/%d in %v): %v",
+		j.ID, fault, step, retries, s.opt.MaxRetries, delay, cause)
+	j.publish(Progress{
+		Step:        step,
+		Steps:       j.Spec.Steps,
+		MachineTime: machineTime,
+		Event:       "recovery",
+		Fault:       fault.String(),
+		Retries:     retries,
+	})
+	go func() {
+		select {
+		case <-time.After(delay):
+		case <-s.stopping:
+			// Shutdown while backing off: the checkpoint already written
+			// re-queues the job in the next daemon.
+			return
+		}
+		select {
+		case s.queue <- j:
+		case <-s.stopping:
+		}
+	}()
+	return true
+}
+
+// retryDelay is base·2^retries capped at max.
+func retryDelay(base, max time.Duration, retries int) time.Duration {
+	d := base << retries
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
+
+// clusterCheckpoint persists a distributed job's resume point.
+func (s *Service) clusterCheckpoint(j *Job, step int, machineTime float64) {
+	if s.spool == nil {
+		return
+	}
+	if err := s.spool.PutClusterCheckpoint(j.ID, step, machineTime); err != nil {
+		s.opt.Logf("nbodyd: checkpointing cluster job %s: %v", j.ID, err)
+		return
+	}
+	s.metrics.Checkpoints.Add(1)
 }
 
 // checkpoint persists the job's current simulation state to the spool.

@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPlan is a seeded, deterministic chaos schedule for one endpoint.
+// All probabilities are per data frame; the zero value injects nothing.
+// Fault decisions come from a private rand.Rand seeded with Seed and
+// advanced once per frame, so two runs with the same plan and the same
+// frame sequence inject the same faults — the property the chaos CI
+// matrix and the golden-recovery tests rely on.
+type FaultPlan struct {
+	// Seed initializes the fault RNG (0 behaves like 1).
+	Seed int64
+	// DropProb silently swallows an outgoing data frame.
+	DropProb float64
+	// DupProb sends an outgoing data frame twice; receivers drop the
+	// second copy via the Frame.Seq dedup window.
+	DupProb float64
+	// DelayProb stalls an outgoing data frame by Delay before it is
+	// written. The stall is synchronous so per-connection FIFO order —
+	// which the machine's mailbox matching depends on — is preserved.
+	DelayProb float64
+	// Delay is the injected stall (default 1ms when a delay fault or
+	// slow peer is configured).
+	Delay time.Duration
+	// CorruptProb damages an incoming data frame beyond repair: the
+	// frame is dropped and the link fails with a FaultCorrupt error,
+	// exactly as the TCP pump reacts to an undecodable body.
+	CorruptProb float64
+	// SlowPeers lists destination procs whose outgoing frames are
+	// always delayed by Delay.
+	SlowPeers []int
+	// PartitionAfter severs the link after this many data frames have
+	// crossed it (sent + received); 0 means never. The partition is
+	// total: every later frame in either direction is dropped and the
+	// link fails with a FaultPartition error.
+	PartitionAfter int
+}
+
+// FaultLink wraps an inner Link and injects the plan's faults on the
+// data path. Host messages are never corrupted or reordered — they
+// model the out-of-band control channel — but a partitioned link fails
+// them like everything else. FaultLink implements Link, so any machine
+// assembled over mesh or TCP endpoints can be wrapped transparently.
+type FaultLink struct {
+	inner Link
+	plan  FaultPlan
+
+	rmu sync.Mutex
+	rng *rand.Rand
+
+	seq    atomic.Uint32 // outgoing dedup sequence, shared across dsts
+	frames atomic.Int64  // data frames seen, drives PartitionAfter
+
+	dmu     sync.Mutex
+	lastSeq map[int32]uint32 // per-source-rank last delivered Seq
+
+	failed   atomic.Bool
+	failErr  atomic.Pointer[error] // first failure, returned by later sends
+	failOnce sync.Once
+
+	dataFn atomic.Pointer[func(*Frame)]
+	errFn  atomic.Pointer[func(error)]
+	host   *hostInbox
+}
+
+// NewFaultLink wraps inner with the plan. The wrapper installs its own
+// handlers on inner; callers must install theirs on the wrapper.
+func NewFaultLink(inner Link, plan FaultPlan) *FaultLink {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if plan.Delay <= 0 {
+		plan.Delay = time.Millisecond
+	}
+	fl := &FaultLink{
+		inner:   inner,
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(seed)),
+		lastSeq: make(map[int32]uint32),
+		host:    newHostInbox(),
+	}
+	inner.SetDataHandler(fl.onFrame)
+	inner.SetErrorHandler(fl.fail)
+	// Host messages are repumped through the wrapper's own inbox so a
+	// partition can fail blocked HostRecv callers even while the inner
+	// link stays healthy.
+	go func() {
+		for {
+			src, payload, err := inner.HostRecv()
+			if err != nil {
+				fl.host.fail(err)
+				return
+			}
+			fl.host.put(hostMsg{src: src, payload: payload})
+		}
+	}()
+	return fl
+}
+
+// roll draws one uniform [0,1) sample under the plan's RNG.
+func (fl *FaultLink) roll() float64 {
+	fl.rmu.Lock()
+	v := fl.rng.Float64()
+	fl.rmu.Unlock()
+	return v
+}
+
+// countFrame advances the partition trigger by one data frame.
+func (fl *FaultLink) countFrame() {
+	if fl.plan.PartitionAfter <= 0 {
+		return
+	}
+	if fl.frames.Add(1) == int64(fl.plan.PartitionAfter) {
+		fl.inner.Metrics().FaultsPartitions.Add(1)
+		fl.fail(faultErr(FaultPartition, -1, "injected partition after %d frames", fl.plan.PartitionAfter))
+	}
+}
+
+// fail marks the link failed and fires the error handler exactly once.
+// The first failure is remembered so that later sends report the real
+// fault kind (peer lost, heartbeat, ...) instead of minting a generic
+// partition error — supervisors classify retries by that kind.
+func (fl *FaultLink) fail(err error) {
+	fl.failErr.CompareAndSwap(nil, &err)
+	fl.failed.Store(true)
+	fl.failOnce.Do(func() {
+		fl.host.fail(err)
+		if fn := fl.errFn.Load(); fn != nil {
+			(*fn)(err)
+		}
+	})
+}
+
+// sendErr is what a send through a failed link returns.
+func (fl *FaultLink) sendErr(dst int) error {
+	if p := fl.failErr.Load(); p != nil {
+		return *p
+	}
+	return faultErr(FaultPartition, dst, "link partitioned")
+}
+
+// ProcID implements Link.
+func (fl *FaultLink) ProcID() int { return fl.inner.ProcID() }
+
+// NumProcs implements Link.
+func (fl *FaultLink) NumProcs() int { return fl.inner.NumProcs() }
+
+// Metrics implements Link: fault counters land on the inner link's
+// metrics so one snapshot covers transport and chaos activity.
+func (fl *FaultLink) Metrics() *Metrics { return fl.inner.Metrics() }
+
+// SetDataHandler implements Link.
+func (fl *FaultLink) SetDataHandler(fn func(*Frame)) { fl.dataFn.Store(&fn) }
+
+// SetErrorHandler implements Link.
+func (fl *FaultLink) SetErrorHandler(fn func(error)) { fl.errFn.Store(&fn) }
+
+// SendData implements Link, applying outgoing faults: drop, delay,
+// slow peer, duplicate, partition.
+func (fl *FaultLink) SendData(dst int, f *Frame) error {
+	if fl.failed.Load() {
+		return fl.sendErr(dst)
+	}
+	fl.countFrame()
+	if fl.failed.Load() {
+		return fl.sendErr(dst)
+	}
+	m := fl.inner.Metrics()
+	if fl.plan.DropProb > 0 && fl.roll() < fl.plan.DropProb {
+		m.FaultsDropped.Add(1)
+		return nil // swallowed: the receiver's rank blocks until recovery
+	}
+	delay := fl.plan.DelayProb > 0 && fl.roll() < fl.plan.DelayProb
+	for _, p := range fl.plan.SlowPeers {
+		if p == dst {
+			delay = true
+		}
+	}
+	if delay {
+		m.FaultsDelayed.Add(1)
+		time.Sleep(fl.plan.Delay)
+	}
+	f.Seq = fl.seq.Add(1)
+	if err := fl.inner.SendData(dst, f); err != nil {
+		return err
+	}
+	if fl.plan.DupProb > 0 && fl.roll() < fl.plan.DupProb {
+		m.FaultsDuplicated.Add(1)
+		return fl.inner.SendData(dst, f) // same Seq: receiver dedups
+	}
+	return nil
+}
+
+// onFrame applies incoming faults — corruption, partition, duplicate
+// suppression — then forwards to the installed handler.
+func (fl *FaultLink) onFrame(f *Frame) {
+	if fl.failed.Load() {
+		return // partitioned: inbound traffic is dropped on the floor
+	}
+	fl.countFrame()
+	if fl.failed.Load() {
+		return
+	}
+	m := fl.inner.Metrics()
+	if fl.plan.CorruptProb > 0 && fl.roll() < fl.plan.CorruptProb {
+		m.FaultsCorrupted.Add(1)
+		fl.fail(faultErr(FaultCorrupt, int(f.Src), "injected frame corruption (rank %d, tag %d)", f.Src, f.Tag))
+		return
+	}
+	if f.Seq != 0 {
+		// Senders stamp strictly increasing Seq per source link, and
+		// injected delays are synchronous, so per-source order holds: an
+		// already-seen Seq can only be an injected duplicate.
+		fl.dmu.Lock()
+		dup := f.Seq <= fl.lastSeq[f.Src]
+		if !dup {
+			fl.lastSeq[f.Src] = f.Seq
+		}
+		fl.dmu.Unlock()
+		if dup {
+			m.FaultsDeduped.Add(1)
+			return
+		}
+	}
+	if fn := fl.dataFn.Load(); fn != nil {
+		(*fn)(f)
+	}
+}
+
+// HostSend implements Link. Control traffic is not fault-injected, but
+// a partitioned link refuses it.
+func (fl *FaultLink) HostSend(dst int, payload any) error {
+	if fl.failed.Load() {
+		return fl.sendErr(dst)
+	}
+	return fl.inner.HostSend(dst, payload)
+}
+
+// HostRecv implements Link.
+func (fl *FaultLink) HostRecv() (int, any, error) {
+	m, err := fl.host.get()
+	if err != nil {
+		return -1, nil, err
+	}
+	return m.src, m.payload, nil
+}
+
+// Close implements Link.
+func (fl *FaultLink) Close() error {
+	err := fl.inner.Close()
+	fl.host.fail(faultErr(FaultClosed, -1, "link closed"))
+	return err
+}
+
+// Abort implements Link.
+func (fl *FaultLink) Abort(err error) {
+	if err == nil {
+		err = faultErr(FaultClosed, -1, "link aborted")
+	}
+	fl.failErr.CompareAndSwap(nil, &err)
+	fl.failed.Store(true)
+	fl.inner.Abort(err)
+	fl.host.fail(err)
+}

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// faultPair wraps a two-node mesh in FaultLinks with the given plans.
+// Mesh delivery is synchronous, so effects of SendData are observable
+// as soon as it returns.
+func faultPair(plan0, plan1 FaultPlan) (*FaultLink, *FaultLink) {
+	nodes := NewMesh(2)
+	return NewFaultLink(nodes[0], plan0), NewFaultLink(nodes[1], plan1)
+}
+
+func testFrame(tag int) *Frame {
+	return &Frame{Src: 0, Dst: 1, Tag: int32(tag), Words: 3, Arrival: 1.5, Payload: []float64{1, 2, 3}}
+}
+
+// TestFaultLinkDrop: with DropProb 1 every data frame is swallowed
+// without an error (the receiver's rank would block until recovery),
+// and the drop counter records each one.
+func TestFaultLinkDrop(t *testing.T) {
+	a, b := faultPair(FaultPlan{Seed: 1, DropProb: 1}, FaultPlan{})
+	got := 0
+	b.SetDataHandler(func(*Frame) { got++ })
+	for i := 0; i < 5; i++ {
+		if err := a.SendData(1, testFrame(i)); err != nil {
+			t.Fatalf("drop must be silent, got %v", err)
+		}
+	}
+	if got != 0 {
+		t.Fatalf("%d frames delivered through a 100%% drop plan", got)
+	}
+	if n := a.Metrics().FaultsDropped.Load(); n != 5 {
+		t.Fatalf("FaultsDropped = %d, want 5", n)
+	}
+}
+
+// TestFaultLinkDuplicateDedup: DupProb 1 sends every frame twice; the
+// receiving FaultLink's Seq window drops the copies, so the handler
+// sees each frame exactly once and both sides count the chaos.
+func TestFaultLinkDuplicateDedup(t *testing.T) {
+	a, b := faultPair(FaultPlan{Seed: 1, DupProb: 1}, FaultPlan{})
+	var tags []int
+	b.SetDataHandler(func(f *Frame) { tags = append(tags, int(f.Tag)) })
+	for i := 0; i < 4; i++ {
+		if err := a.SendData(1, testFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tags) != 4 {
+		t.Fatalf("delivered %d frames, want 4 (dedup failed): %v", len(tags), tags)
+	}
+	for i, tag := range tags {
+		if tag != i {
+			t.Fatalf("delivery order %v, want 0..3", tags)
+		}
+	}
+	if n := a.Metrics().FaultsDuplicated.Load(); n != 4 {
+		t.Fatalf("FaultsDuplicated = %d, want 4", n)
+	}
+	if n := b.Metrics().FaultsDeduped.Load(); n != 4 {
+		t.Fatalf("FaultsDeduped = %d, want 4", n)
+	}
+}
+
+// TestFaultLinkDelay: delayed frames still arrive, in order, and are
+// counted.
+func TestFaultLinkDelay(t *testing.T) {
+	a, b := faultPair(FaultPlan{Seed: 1, DelayProb: 1, Delay: time.Millisecond}, FaultPlan{})
+	got := 0
+	b.SetDataHandler(func(*Frame) { got++ })
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := a.SendData(1, testFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got != 3 {
+		t.Fatalf("delivered %d frames, want 3", got)
+	}
+	if n := a.Metrics().FaultsDelayed.Load(); n != 3 {
+		t.Fatalf("FaultsDelayed = %d, want 3", n)
+	}
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("3 delayed sends finished in %v, delays not applied", elapsed)
+	}
+}
+
+// TestFaultLinkSlowPeer: frames to a listed peer are always delayed.
+func TestFaultLinkSlowPeer(t *testing.T) {
+	a, b := faultPair(FaultPlan{Seed: 1, SlowPeers: []int{1}, Delay: time.Millisecond}, FaultPlan{})
+	got := 0
+	b.SetDataHandler(func(*Frame) { got++ })
+	if err := a.SendData(1, testFrame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("delivered %d frames, want 1", got)
+	}
+	if n := a.Metrics().FaultsDelayed.Load(); n != 1 {
+		t.Fatalf("FaultsDelayed = %d, want 1", n)
+	}
+}
+
+// TestFaultLinkPartition: after PartitionAfter frames the link is
+// severed in both directions, the error handler fires once with a
+// FaultPartition, and blocked host calls fail.
+func TestFaultLinkPartition(t *testing.T) {
+	a, b := faultPair(FaultPlan{Seed: 1, PartitionAfter: 3}, FaultPlan{})
+	b.SetDataHandler(func(*Frame) {})
+	errs := make(chan error, 4)
+	a.SetErrorHandler(func(err error) { errs <- err })
+	var sendErr error
+	for i := 0; i < 6; i++ {
+		if err := a.SendData(1, testFrame(i)); err != nil {
+			sendErr = err
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("sends past the partition trigger did not fail")
+	}
+	if k := FaultKindOf(sendErr); k != FaultPartition {
+		t.Fatalf("send error kind = %v, want partition: %v", k, sendErr)
+	}
+	select {
+	case err := <-errs:
+		if k := FaultKindOf(err); k != FaultPartition {
+			t.Fatalf("error handler kind = %v: %v", k, err)
+		}
+	default:
+		t.Fatal("error handler never fired")
+	}
+	if err := a.HostSend(1, "x"); FaultKindOf(err) != FaultPartition {
+		t.Fatalf("HostSend through partition = %v, want partition error", err)
+	}
+	if _, _, err := a.HostRecv(); err == nil {
+		t.Fatal("HostRecv on a partitioned link did not fail")
+	}
+	if n := a.Metrics().FaultsPartitions.Load(); n != 1 {
+		t.Fatalf("FaultsPartitions = %d, want 1", n)
+	}
+}
+
+// TestFaultLinkCorrupt: an injected corruption drops the frame and
+// fails the receiving link with a FaultCorrupt, exactly as the TCP pump
+// reacts to an undecodable body.
+func TestFaultLinkCorrupt(t *testing.T) {
+	a, b := faultPair(FaultPlan{}, FaultPlan{Seed: 1, CorruptProb: 1})
+	got := 0
+	b.SetDataHandler(func(*Frame) { got++ })
+	errs := make(chan error, 1)
+	b.SetErrorHandler(func(err error) { errs <- err })
+	if err := a.SendData(1, testFrame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("corrupted frame was delivered")
+	}
+	select {
+	case err := <-errs:
+		if k := FaultKindOf(err); k != FaultCorrupt {
+			t.Fatalf("error kind = %v: %v", k, err)
+		}
+	default:
+		t.Fatal("corruption did not fail the link")
+	}
+	if n := b.Metrics().FaultsCorrupted.Load(); n != 1 {
+		t.Fatalf("FaultsCorrupted = %d, want 1", n)
+	}
+}
+
+// TestFaultLinkDeterministicSchedule: the same seed over the same frame
+// sequence injects the same faults — the property the chaos CI matrix
+// and the golden-recovery tests rely on.
+func TestFaultLinkDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []int {
+		a, b := faultPair(FaultPlan{Seed: seed, DropProb: 0.4}, FaultPlan{})
+		var tags []int
+		b.SetDataHandler(func(f *Frame) { tags = append(tags, int(f.Tag)) })
+		for i := 0; i < 50; i++ {
+			if err := a.SendData(1, testFrame(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tags
+	}
+	first := run(99)
+	second := run(99)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", first, second)
+	}
+	if len(first) == 0 || len(first) == 50 {
+		t.Fatalf("drop plan delivered %d/50 frames; expected a mix", len(first))
+	}
+	other := run(7)
+	if fmt.Sprint(first) == fmt.Sprint(other) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestFaultLinkHostPassThrough: control traffic crosses a healthy fault
+// link unmodified.
+func TestFaultLinkHostPassThrough(t *testing.T) {
+	a, b := faultPair(FaultPlan{Seed: 1, DropProb: 1}, FaultPlan{})
+	if err := a.HostSend(1, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	src, payload, err := b.HostRecv()
+	if err != nil || src != 0 || payload != "hello" {
+		t.Fatalf("HostRecv = %d, %v, %v", src, payload, err)
+	}
+}
+
+// TestRetryableClassification pins which fault kinds a supervisor may
+// retry.
+func TestRetryableClassification(t *testing.T) {
+	if Retryable(nil) {
+		t.Fatal("nil error is not retryable")
+	}
+	if Retryable(fmt.Errorf("plain error")) {
+		t.Fatal("non-transport errors are not retryable")
+	}
+	for _, kind := range []FaultKind{FaultPeerLost, FaultHeartbeat, FaultCorrupt, FaultPartition, FaultStall} {
+		err := fmt.Errorf("wrapped: %w", faultErr(kind, 2, "boom"))
+		if !Retryable(err) {
+			t.Fatalf("%v should be retryable", kind)
+		}
+		if FaultKindOf(err) != kind {
+			t.Fatalf("FaultKindOf lost the kind %v", kind)
+		}
+	}
+	if Retryable(faultErr(FaultClosed, -1, "closed")) {
+		t.Fatal("a deliberate close is not retryable")
+	}
+}

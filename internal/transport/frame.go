@@ -36,9 +36,12 @@ const frameHeaderLen = 5
 // timestamp, computed on the sender under the machine's cost model so
 // that the simulated interconnect is independent of the real one.
 // Epoch tags the job incarnation: frames from a previous job on a
-// reused connection are dropped by the receiver.
+// reused connection are dropped by the receiver. Seq is a per-sender
+// sequence number stamped by fault-injecting links so receivers can
+// drop duplicated deliveries; 0 means unset and is never deduplicated.
 type Frame struct {
 	Epoch   uint32
+	Seq     uint32
 	Src     int32
 	Dst     int32
 	Tag     int32
@@ -54,6 +57,7 @@ func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
 	w.U8(KindData)
 	start := len(w.b)
 	w.U32(f.Epoch)
+	w.U32(f.Seq)
 	w.I32(f.Src)
 	w.I32(f.Dst)
 	w.I32(f.Tag)
@@ -80,6 +84,7 @@ func DecodeFrame(body []byte) (*Frame, error) {
 	r := NewReader(body)
 	f := &Frame{
 		Epoch:   r.U32(),
+		Seq:     r.U32(),
 		Src:     r.I32(),
 		Dst:     r.I32(),
 		Tag:     r.I32(),

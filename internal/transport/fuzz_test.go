@@ -167,7 +167,8 @@ func TestDecodeFrameTrailingBytes(t *testing.T) {
 // to a clear error.
 func TestDecodeFrameUnknownWireID(t *testing.T) {
 	var w Writer
-	w.U32(0)
+	w.U32(0) // epoch
+	w.U32(0) // seq
 	w.I32(0)
 	w.I32(0)
 	w.I32(0)

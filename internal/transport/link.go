@@ -32,6 +32,13 @@ type Link interface {
 	HostRecv() (src int, payload any, err error)
 	// Metrics exposes the link's host-side counters.
 	Metrics() *Metrics
-	// Close tears the link down gracefully.
+	// Close tears the link down gracefully: peers observe an orderly
+	// goodbye, not a failure.
 	Close() error
+	// Abort tears the link down ungracefully, as if this process had
+	// crashed: no goodbye is sent, so peers observe a failure and any
+	// rank blocked on traffic from this process unwinds. err is the
+	// reason recorded on the local host channel. Used by supervisors to
+	// demolish a faulted machine generation before rebuilding it.
+	Abort(err error)
 }

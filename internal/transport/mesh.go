@@ -52,7 +52,7 @@ func (m *MeshNode) SendData(dst int, f *Frame) error {
 		return fmt.Errorf("transport: bad destination proc %d (self %d of %d)", dst, m.procID, len(m.peers))
 	}
 	if m.closed.Load() {
-		return fmt.Errorf("transport: link closed")
+		return faultErr(FaultClosed, m.procID, "link closed")
 	}
 	buf, err := AppendFrame(nil, f)
 	if err != nil {
@@ -65,7 +65,7 @@ func (m *MeshNode) SendData(dst int, f *Frame) error {
 
 func (m *MeshNode) deliver(buf []byte) error {
 	if m.closed.Load() {
-		return fmt.Errorf("transport: peer %d closed", m.procID)
+		return faultErr(FaultPeerLost, m.procID, "peer %d closed", m.procID)
 	}
 	m.metrics.FramesRecv.Add(1)
 	m.metrics.BytesRecv.Add(int64(len(buf)))
@@ -111,7 +111,40 @@ func (m *MeshNode) HostRecv() (int, any, error) {
 // Close implements Link.
 func (m *MeshNode) Close() error {
 	if m.closed.CompareAndSwap(false, true) {
-		m.host.fail(fmt.Errorf("transport: link closed"))
+		m.host.fail(faultErr(FaultClosed, m.procID, "link closed"))
 	}
 	return nil
+}
+
+// Abort implements Link: the in-memory equivalent of a process crash.
+// This node stops accepting traffic and every peer observes the loss —
+// their error handlers fire and their host channels fail, exactly as a
+// TCP peer would see a connection reset.
+func (m *MeshNode) Abort(err error) {
+	if !m.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if err == nil {
+		err = faultErr(FaultClosed, m.procID, "link aborted")
+	}
+	m.host.fail(err)
+	for _, p := range m.peers {
+		if p != m {
+			p.peerLost(m.procID)
+		}
+	}
+}
+
+// peerLost records that peer proc crashed: fail the host channel and
+// fire the error handler, mirroring the TCP node's reaction to a read
+// error. The node itself stays open for sends to surviving peers.
+func (m *MeshNode) peerLost(proc int) {
+	if m.closed.Load() {
+		return
+	}
+	err := faultErr(FaultPeerLost, proc, "peer %d aborted", proc)
+	m.host.fail(err)
+	if fn := m.errFn.Load(); fn != nil {
+		(*fn)(err)
+	}
 }

@@ -19,6 +19,15 @@ type Metrics struct {
 	Heartbeats   atomic.Int64
 	ConnsOpen    atomic.Int64
 
+	// Injected-fault counters, bumped by FaultLink. All zero on a link
+	// without a chaos wrapper.
+	FaultsDropped    atomic.Int64 // outgoing data frames swallowed
+	FaultsDuplicated atomic.Int64 // outgoing data frames sent twice
+	FaultsDelayed    atomic.Int64 // outgoing data frames delayed
+	FaultsCorrupted  atomic.Int64 // incoming data frames corrupted
+	FaultsDeduped    atomic.Int64 // duplicate deliveries dropped by Seq
+	FaultsPartitions atomic.Int64 // full partitions triggered
+
 	rtt rttSampler
 }
 
@@ -36,6 +45,14 @@ type MetricsSnapshot struct {
 	DialFailures int64   `json:"dial_failures"`
 	Heartbeats   int64   `json:"heartbeats"`
 	ConnsOpen    int64   `json:"conns_open"`
+
+	FaultsDropped    int64 `json:"faults_dropped,omitempty"`
+	FaultsDuplicated int64 `json:"faults_duplicated,omitempty"`
+	FaultsDelayed    int64 `json:"faults_delayed,omitempty"`
+	FaultsCorrupted  int64 `json:"faults_corrupted,omitempty"`
+	FaultsDeduped    int64 `json:"faults_deduped,omitempty"`
+	FaultsPartitions int64 `json:"faults_partitions,omitempty"`
+
 	RTTCount     int64   `json:"rtt_count"`
 	RTTp50       float64 `json:"rtt_p50_seconds"`
 	RTTp99       float64 `json:"rtt_p99_seconds"`
@@ -54,6 +71,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DialFailures: m.DialFailures.Load(),
 		Heartbeats:   m.Heartbeats.Load(),
 		ConnsOpen:    m.ConnsOpen.Load(),
+
+		FaultsDropped:    m.FaultsDropped.Load(),
+		FaultsDuplicated: m.FaultsDuplicated.Load(),
+		FaultsDelayed:    m.FaultsDelayed.Load(),
+		FaultsCorrupted:  m.FaultsCorrupted.Load(),
+		FaultsDeduped:    m.FaultsDeduped.Load(),
+		FaultsPartitions: m.FaultsPartitions.Load(),
+
 		RTTCount:     count,
 		RTTp50:       p50,
 		RTTp99:       p99,

@@ -195,7 +195,7 @@ func (hi *hostInbox) get() (hostMsg, error) {
 	if hi.failed != nil {
 		return hostMsg{}, hi.failed
 	}
-	return hostMsg{}, fmt.Errorf("transport: link closed")
+	return hostMsg{}, faultErr(FaultClosed, -1, "link closed")
 }
 
 // peerConn is one TCP connection to a peer, with a write lock (frames
@@ -488,7 +488,11 @@ func (n *Node) SendData(dst int, f *Frame) error {
 		return err
 	}
 	if err := pc.writeFrame(n, buf); err != nil {
-		return fmt.Errorf("transport: send to proc %d: %w", dst, err)
+		// A failed write means the peer's connection is gone — classify
+		// as peer loss so supervisors treat it as retryable, exactly
+		// like a read-side reset.
+		return &TransportError{Kind: FaultPeerLost, Proc: dst,
+			Err: fmt.Errorf("send to proc %d: %w", dst, err)}
 	}
 	return nil
 }
@@ -513,7 +517,8 @@ func (n *Node) HostSend(dst int, payload any) error {
 		return err
 	}
 	if err := pc.writeFrame(n, buf); err != nil {
-		return fmt.Errorf("transport: host send to proc %d: %w", dst, err)
+		return &TransportError{Kind: FaultPeerLost, Proc: dst,
+			Err: fmt.Errorf("host send to proc %d: %w", dst, err)}
 	}
 	return nil
 }
@@ -562,7 +567,10 @@ func (n *Node) connFor(dst int) (*peerConn, error) {
 func (n *Node) dialPeer(dst int) (*peerConn, error) {
 	conn, err := n.dialRetry(n.addrs[dst])
 	if err != nil {
-		return nil, fmt.Errorf("transport: proc %d unreachable: %w", dst, err)
+		// An unreachable peer mid-run is a peer fault (retryable after
+		// a machine rebuild), not an application error.
+		return nil, &TransportError{Kind: FaultPeerLost, Proc: dst,
+			Err: fmt.Errorf("proc %d unreachable: %w", dst, err)}
 	}
 	pc := &peerConn{peer: dst, conn: conn}
 	pc.lastSeen.Store(time.Now().UnixNano())
@@ -573,7 +581,8 @@ func (n *Node) dialPeer(dst int) (*peerConn, error) {
 	}
 	if err := pc.writeFrame(n, buf); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("transport: ident to proc %d: %w", dst, err)
+		return nil, &TransportError{Kind: FaultPeerLost, Proc: dst,
+			Err: fmt.Errorf("ident to proc %d: %w", dst, err)}
 	}
 	n.metrics.ConnsOpen.Add(1)
 	n.startPump(pc)
@@ -639,7 +648,7 @@ func (n *Node) pump(pc *peerConn) {
 			if n.closed.Load() || pc.said_bye.Load() {
 				return
 			}
-			n.fail(fmt.Errorf("transport: connection to proc %d lost: %w", pc.peer, err))
+			n.fail(faultErr(FaultPeerLost, pc.peer, "connection to proc %d lost: %w", pc.peer, err))
 			return
 		}
 		pc.lastSeen.Store(time.Now().UnixNano())
@@ -649,7 +658,7 @@ func (n *Node) pump(pc *peerConn) {
 		case KindData:
 			f, err := DecodeFrame(body)
 			if err != nil {
-				n.fail(fmt.Errorf("transport: bad frame from proc %d: %w", pc.peer, err))
+				n.fail(faultErr(FaultCorrupt, pc.peer, "bad frame from proc %d: %w", pc.peer, err))
 				return
 			}
 			fn := n.dataFn.Load()
@@ -666,7 +675,7 @@ func (n *Node) pump(pc *peerConn) {
 			src := int(r.I32())
 			v, err := DecodeAny(r)
 			if err != nil {
-				n.fail(fmt.Errorf("transport: bad host frame from proc %d: %w", pc.peer, err))
+				n.fail(faultErr(FaultCorrupt, pc.peer, "bad host frame from proc %d: %w", pc.peer, err))
 				return
 			}
 			n.host.put(hostMsg{src: src, payload: v})
@@ -703,12 +712,25 @@ func mustUnmarshalPing(body []byte) any {
 	return v
 }
 
-// startHeartbeats launches the liveness loop: periodic pings on every
-// outbound connection, and a staleness check against
-// HeartbeatTimeout.
+// startHeartbeats launches the liveness machinery: a probe loop that
+// pings every outbound connection each HeartbeatInterval, and a
+// staleness watchdog that declares a peer dead once its connection has
+// been silent past the liveness deadline. A negative interval disables
+// BOTH: with no probes flowing, an idle healthy peer generates no
+// inbound traffic at all, so a timeout check on its own would declare
+// it dead — the probe is what manufactures the traffic the watchdog
+// observes.
 func (n *Node) startHeartbeats() {
 	if n.cfg.HeartbeatInterval < 0 {
 		return
+	}
+	// The liveness deadline must leave room for at least one full
+	// probe round-trip: with a probe interval longer than the
+	// configured timeout, a healthy-but-idle peer has had no chance to
+	// prove liveness yet when the raw timeout expires.
+	deadAfter := n.cfg.HeartbeatTimeout
+	if n.cfg.HeartbeatInterval > deadAfter {
+		deadAfter = n.cfg.HeartbeatInterval + n.cfg.HeartbeatTimeout
 	}
 	n.wg.Add(1)
 	go func() {
@@ -721,21 +743,10 @@ func (n *Node) startHeartbeats() {
 				return
 			case <-t.C:
 			}
-			n.mu.Lock()
-			conns := make([]*peerConn, 0, len(n.out))
-			for _, pc := range n.out {
-				conns = append(conns, pc)
-			}
-			n.mu.Unlock()
 			now := time.Now()
-			for _, pc := range conns {
+			for _, pc := range n.outConns() {
 				if pc.said_bye.Load() {
 					continue
-				}
-				idle := now.Sub(time.Unix(0, pc.lastSeen.Load()))
-				if idle > n.cfg.HeartbeatTimeout {
-					n.fail(fmt.Errorf("transport: proc %d silent for %v (heartbeat timeout)", pc.peer, idle.Round(time.Millisecond)))
-					return
 				}
 				buf, err := AppendControl(nil, KindPing, pingBody{Nanos: now.UnixNano()})
 				if err == nil && pc.writeFrame(n, buf) == nil {
@@ -744,6 +755,47 @@ func (n *Node) startHeartbeats() {
 			}
 		}
 	}()
+	// Watchdog ticks faster than the deadline so detection latency is a
+	// fraction of the timeout, not up to one full probe interval.
+	tick := deadAfter / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.closeCh:
+				return
+			case <-t.C:
+			}
+			now := time.Now()
+			for _, pc := range n.outConns() {
+				if pc.said_bye.Load() {
+					continue
+				}
+				idle := now.Sub(time.Unix(0, pc.lastSeen.Load()))
+				if idle > deadAfter {
+					n.fail(faultErr(FaultHeartbeat, pc.peer, "proc %d silent for %v (heartbeat timeout)", pc.peer, idle.Round(time.Millisecond)))
+					return
+				}
+			}
+		}
+	}()
+}
+
+// outConns snapshots the outbound connections under the lock.
+func (n *Node) outConns() []*peerConn {
+	n.mu.Lock()
+	conns := make([]*peerConn, 0, len(n.out))
+	for _, pc := range n.out {
+		conns = append(conns, pc)
+	}
+	n.mu.Unlock()
+	return conns
 }
 
 // fail reports a fatal link error once and poisons the host inbox so
@@ -790,9 +842,38 @@ func (n *Node) Close() error {
 	for _, pc := range ins {
 		pc.conn.Close()
 	}
-	n.host.fail(fmt.Errorf("transport: link closed"))
+	n.host.fail(faultErr(FaultClosed, -1, "link closed"))
 	n.wg.Wait()
 	return nil
+}
+
+// Abort implements Link: tear the node down as if the process had
+// crashed. No Bye is sent, so every peer's pump observes a connection
+// reset and fails its node — exactly the signal a supervisor needs to
+// demolish a faulted machine generation everywhere at once.
+func (n *Node) Abort(err error) {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if err == nil {
+		err = faultErr(FaultClosed, -1, "link aborted")
+	}
+	close(n.closeCh)
+	n.mu.Lock()
+	conns := make([]*peerConn, 0, len(n.out)+len(n.in))
+	for _, pc := range n.out {
+		conns = append(conns, pc)
+	}
+	conns = append(conns, n.in...)
+	n.mu.Unlock()
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+	n.host.fail(err)
+	n.wg.Wait()
 }
 
 // putU32 patches a little-endian u32 at the front of buf.
