@@ -21,6 +21,7 @@ package barneshut
 import (
 	"repro/internal/dist"
 	"repro/internal/msg"
+	"repro/internal/obsv"
 	"repro/internal/parbh"
 	"repro/internal/vec"
 )
@@ -55,7 +56,19 @@ type (
 	StepResult = parbh.Result
 	// MachineProfile holds the simulated machine's cost constants.
 	MachineProfile = msg.CostProfile
+	// Tracer records per-rank trace events on the simulated and host
+	// clocks; export with WriteChrome for Perfetto. See internal/obsv.
+	Tracer = obsv.Tracer
+	// LoadProfile summarizes a step's per-rank work distribution.
+	LoadProfile = obsv.LoadProfile
 )
+
+// NewTracer returns a tracer ready to attach with Simulation.SetTracer.
+func NewTracer() *Tracer { return obsv.New() }
+
+// ProfileWork computes a load-imbalance profile from per-rank work
+// measurements such as StepResult.RankForce.
+func ProfileWork(work []float64) LoadProfile { return obsv.ProfileWork(work) }
 
 // Parallel formulation selectors.
 const (

@@ -36,12 +36,12 @@ import (
 
 // jsonReport is the -json output document.
 type jsonReport struct {
-	Scale          float64               `json:"scale"`
-	MaxProcs       int                   `json:"maxprocs"`
-	Seed           int64                 `json:"seed"`
-	ElapsedSeconds float64               `json:"elapsed_seconds"`
-	Tables         []jsonTable           `json:"tables"`
-	Runs           []experiments.Record  `json:"runs"`
+	Scale          float64              `json:"scale"`
+	MaxProcs       int                  `json:"maxprocs"`
+	Seed           int64                `json:"seed"`
+	ElapsedSeconds float64              `json:"elapsed_seconds"`
+	Tables         []jsonTable          `json:"tables"`
+	Runs           []experiments.Record `json:"runs"`
 }
 
 // jsonTable mirrors experiments.Table with lowercase JSON keys.

@@ -19,38 +19,40 @@ import (
 
 	barneshut "repro"
 	"repro/internal/cluster"
+	"repro/internal/obsv"
 	"repro/internal/parbh"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		distName = flag.String("dist", "plummer", "distribution: plummer, g, g2, s_1g_a, s_1g_b, s_10g_a, s_10g_b, uniform")
-		n        = flag.Int("n", 10000, "number of particles")
-		p        = flag.Int("p", 8, "simulated processors (power of two for spsa/spda)")
-		scheme   = flag.String("scheme", "dpda", "parallel formulation: spsa, spda, dpda")
-		mode     = flag.String("mode", "force", "force (monopoles) or potential (multipoles)")
-		alpha    = flag.Float64("alpha", 0.67, "multipole acceptance parameter")
-		degree   = flag.Int("degree", 4, "multipole degree (potential mode)")
-		eps      = flag.Float64("eps", 0.05, "Plummer softening (force mode)")
-		steps    = flag.Int("steps", 3, "number of time-steps")
-		dt       = flag.Float64("dt", 0.01, "leapfrog time-step")
-		grid     = flag.Int("grid", 3, "log2 of the cluster grid per dimension (spsa/spda)")
-		machine  = flag.String("machine", "ncube2", "machine profile: ncube2, cm5, ideal")
-		binSize  = flag.Int("bin", 100, "function-shipping bin size")
-		shipping = flag.String("shipping", "function", "function or data shipping")
-		seed     = flag.Int64("seed", 42, "random seed")
-		verbose  = flag.Bool("v", false, "print the phase breakdown each step")
-		integr   = flag.String("integrator", "leapfrog", "time integrator: leapfrog, yoshida4, euler")
-		csvPath  = flag.String("csv", "", "write per-step history CSV to this file")
-		ckptPath = flag.String("checkpoint", "", "write a resumable checkpoint here after the run")
-		resume   = flag.String("resume", "", "resume from a checkpoint file (overrides -dist/-n)")
-		trans    = flag.String("transport", "inproc", "inproc, or tcp to coordinate nbodyworker processes")
-		tListen  = flag.String("transport-listen", "127.0.0.1:0", "coordinator listen address (tcp transport)")
-		tWorkers = flag.Int("transport-workers", 1, "worker processes to wait for (tcp transport)")
-		tWait    = flag.Duration("transport-wait", 60*time.Second, "how long to wait for workers to join (tcp transport)")
-		tRetries = flag.Int("transport-retries", 3, "machine rebuilds after transport faults before the run fails (tcp transport)")
-		tStep    = flag.Duration("transport-step-timeout", 2*time.Minute, "watchdog on one distributed step; 0 disables (tcp transport)")
+		distName  = flag.String("dist", "plummer", "distribution: plummer, g, g2, s_1g_a, s_1g_b, s_10g_a, s_10g_b, uniform")
+		n         = flag.Int("n", 10000, "number of particles")
+		p         = flag.Int("p", 8, "simulated processors (power of two for spsa/spda)")
+		scheme    = flag.String("scheme", "dpda", "parallel formulation: spsa, spda, dpda")
+		mode      = flag.String("mode", "force", "force (monopoles) or potential (multipoles)")
+		alpha     = flag.Float64("alpha", 0.67, "multipole acceptance parameter")
+		degree    = flag.Int("degree", 4, "multipole degree (potential mode)")
+		eps       = flag.Float64("eps", 0.05, "Plummer softening (force mode)")
+		steps     = flag.Int("steps", 3, "number of time-steps")
+		dt        = flag.Float64("dt", 0.01, "leapfrog time-step")
+		grid      = flag.Int("grid", 3, "log2 of the cluster grid per dimension (spsa/spda)")
+		machine   = flag.String("machine", "ncube2", "machine profile: ncube2, cm5, ideal")
+		binSize   = flag.Int("bin", 100, "function-shipping bin size")
+		shipping  = flag.String("shipping", "function", "function or data shipping")
+		seed      = flag.Int64("seed", 42, "random seed")
+		verbose   = flag.Bool("v", false, "print the phase breakdown each step")
+		integr    = flag.String("integrator", "leapfrog", "time integrator: leapfrog, yoshida4, euler")
+		csvPath   = flag.String("csv", "", "write per-step history CSV to this file")
+		tracePath = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
+		ckptPath  = flag.String("checkpoint", "", "write a resumable checkpoint here after the run")
+		resume    = flag.String("resume", "", "resume from a checkpoint file (overrides -dist/-n)")
+		trans     = flag.String("transport", "inproc", "inproc, or tcp to coordinate nbodyworker processes")
+		tListen   = flag.String("transport-listen", "127.0.0.1:0", "coordinator listen address (tcp transport)")
+		tWorkers  = flag.Int("transport-workers", 1, "worker processes to wait for (tcp transport)")
+		tWait     = flag.Duration("transport-wait", 60*time.Second, "how long to wait for workers to join (tcp transport)")
+		tRetries  = flag.Int("transport-retries", 3, "machine rebuilds after transport faults before the run fails (tcp transport)")
+		tStep     = flag.Duration("transport-step-timeout", 2*time.Minute, "watchdog on one distributed step; 0 disables (tcp transport)")
 	)
 	flag.Parse()
 
@@ -106,7 +108,7 @@ func main() {
 		if *resume != "" || *ckptPath != "" || *csvPath != "" {
 			fatal(fmt.Errorf("-resume/-checkpoint/-csv are not supported with -transport tcp"))
 		}
-		runTCP(set, cfg, *distName, *steps, *tListen, *tWorkers, *tWait, *tRetries, *tStep, *verbose)
+		runTCP(set, cfg, *distName, *steps, *tListen, *tWorkers, *tWait, *tRetries, *tStep, *verbose, *tracePath)
 		return
 	default:
 		fatal(fmt.Errorf("unknown transport %q", *trans))
@@ -129,6 +131,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	var tracer *barneshut.Tracer
+	if *tracePath != "" {
+		tracer = barneshut.NewTracer()
+		sim.SetTracer(tracer)
 	}
 	effCfg := sim.Config()
 	fmt.Printf("nbody: %s n=%d p=%d scheme=%v mode=%v machine=%s alpha=%g integrator=%s\n",
@@ -157,6 +164,10 @@ func main() {
 	meanSim, meanEff, worstImb := history.Summary()
 	fmt.Printf("summary: mean sim %.3fs  mean eff %.2f  worst imbalance %.2f\n",
 		meanSim, meanEff, worstImb)
+
+	if tracer != nil {
+		writeTrace(tracer, *tracePath)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -191,9 +202,13 @@ func main() {
 // interaction statistics are bit-identical to the in-proc run of the
 // same configuration — faults and recoveries included — and the GOLDEN
 // line makes that directly comparable.
-func runTCP(set *barneshut.ParticleSet, cfg barneshut.Config, distName string, steps int, listen string, workers int, wait time.Duration, retries int, stepTimeout time.Duration, verbose bool) {
+func runTCP(set *barneshut.ParticleSet, cfg barneshut.Config, distName string, steps int, listen string, workers int, wait time.Duration, retries int, stepTimeout time.Duration, verbose bool, tracePath string) {
 	if workers < 1 {
 		fatal(fmt.Errorf("-transport-workers must be at least 1"))
+	}
+	var tracer *barneshut.Tracer
+	if tracePath != "" {
+		tracer = barneshut.NewTracer()
 	}
 	// The assembler re-listens on the same resolved address after a
 	// fault so rejoining workers find the rebuilt coordinator.
@@ -209,8 +224,11 @@ func runTCP(set *barneshut.ParticleSet, cfg barneshut.Config, distName string, s
 			node.Abort(err)
 			return nil, err
 		}
-		return cluster.NewCoordinator(node)
+		// Tracing wraps the link too, so the capture shows the host-clock
+		// transport activity next to the simulated-clock phase spans.
+		return cluster.NewCoordinator(obsv.WrapLink(node, tracer))
 	})
+	sup.Tracer = tracer
 	sup.MaxRetries = retries
 	sup.StepTimeout = stepTimeout
 	sup.Logf = func(format string, args ...any) {
@@ -268,6 +286,30 @@ func runTCP(set *barneshut.ParticleSet, cfg barneshut.Config, distName string, s
 	if err := sup.Shutdown(); err != nil {
 		fatal(err)
 	}
+	if tracer != nil {
+		writeTrace(tracer, tracePath)
+	}
+}
+
+// writeTrace exports the capture as Chrome trace-event JSON (open it at
+// https://ui.perfetto.dev).
+func writeTrace(tr *barneshut.Tracer, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace written to %s (%d events", path, tr.Len())
+	if d := tr.Dropped(); d > 0 {
+		fmt.Printf(", %d dropped at cap", d)
+	}
+	fmt.Printf(")\n")
 }
 
 func fatal(err error) {

@@ -12,7 +12,12 @@
 //	POST /api/v1/jobs             submit   GET /api/v1/jobs            list
 //	GET  /api/v1/jobs/{id}        inspect  GET /api/v1/jobs/{id}/stream NDJSON
 //	POST /api/v1/jobs/{id}/cancel cancel   GET /api/v1/jobs/{id}/result result
-//	GET  /metrics                 metrics  GET /healthz                liveness
+//	GET  /api/v1/jobs/{id}/trace  trace    GET /metrics                metrics
+//	GET  /healthz                 liveness
+//
+// With -debug-addr set, a second private listener serves Go's pprof
+// handlers under /debug/pprof/; they are never mounted on the public
+// API listener.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, checkpoints every
 // running job to the spool, and exits; a daemon started later on the
@@ -23,8 +28,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +45,8 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		debugAddr = flag.String("debug-addr", "", "private listen address for /debug/pprof (empty disables; keep it off public interfaces)")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON records instead of text")
 		workers   = flag.Int("workers", 2, "worker pool size")
 		queue     = flag.Int("queue", 16, "queued-job bound beyond running jobs (beyond it: 429)")
 		spool     = flag.String("spool", "", "spool directory for checkpoint-backed resume (empty disables)")
@@ -52,6 +61,12 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := newLogger(*logJSON)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	opt := service.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -59,6 +74,11 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		MaxRetries:      *jRetries,
 		RetryBackoff:    *jBackoff,
+		// The service layer speaks printf; route its lines through the
+		// structured logger so every surface ends up in one stream.
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...), "component", "service")
+		},
 	}
 	var sup *cluster.Supervisor
 	if *cWorkers > 0 {
@@ -73,28 +93,29 @@ func main() {
 				return nil, err
 			}
 			listenAddr = node.Addr()
-			log.Printf("nbodyd: cluster coordinator on %s, waiting for %d worker(s)", node.Addr(), *cWorkers)
+			logger.Info("cluster coordinator listening",
+				"component", "cluster", "addr", node.Addr(), "workers", *cWorkers)
 			if err := node.WaitWorkers(*cWait); err != nil {
 				node.Abort(err)
 				return nil, err
 			}
-			log.Printf("nbodyd: cluster assembled: %d processes", node.NumProcs())
+			logger.Info("cluster assembled", "component", "cluster", "procs", node.NumProcs())
 			return cluster.NewCoordinator(node)
 		})
-		sup.Logf = log.Printf
+		sup.Logger = logger
 		sup.StepTimeout = *cStep
 		// The first generation comes up before the daemon serves: a
 		// misconfigured cluster should fail loudly at startup, not on the
 		// first job.
 		if err := sup.Ensure(); err != nil {
-			log.Fatalf("nbodyd: cluster: %v", err)
+			fatal("cluster assembly failed", "component", "cluster", "err", err)
 		}
 		opt.Cluster = sup
 	}
 
 	svc, err := service.New(opt)
 	if err != nil {
-		log.Fatalf("nbodyd: %v", err)
+		fatal("service init failed", "err", err)
 	}
 	if sup != nil {
 		// A getter, not a snapshot: each rebuilt generation brings fresh
@@ -106,31 +127,72 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("nbodyd: listening on %s (workers=%d queue=%d spool=%q)",
-		*addr, *workers, *queue, *spool)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "spool", *spool)
+
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		// pprof lives on its own listener, never the public API mux: the
+		// profile endpoints expose memory contents and can stall the
+		// process, so they stay on a private (loopback/VPN) address.
+		dbgSrv = &http.Server{Addr: *debugAddr, Handler: debugMux()}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *debugAddr, "path", "/debug/pprof/")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
-		log.Printf("nbodyd: signal received, draining (max %s)", *drain)
+		logger.Info("signal received, draining", "max_drain", drain.String())
 	case err := <-errc:
-		log.Fatalf("nbodyd: serve: %v", err)
+		fatal("serve failed", "err", err)
 	}
 
 	// Stop admission first, then checkpoint and drain the workers.
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("nbodyd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
+	}
+	if dbgSrv != nil {
+		dbgSrv.Close()
 	}
 	if err := svc.Shutdown(shutCtx); err != nil {
-		log.Printf("nbodyd: worker drain: %v", err)
+		logger.Warn("worker drain", "err", err)
 	}
 	if sup != nil {
 		if err := sup.Shutdown(); err != nil {
-			log.Printf("nbodyd: cluster shutdown: %v", err)
+			logger.Warn("cluster shutdown", "err", err)
 		}
 	}
-	log.Printf("nbodyd: stopped")
+	logger.Info("stopped")
+}
+
+// newLogger builds the daemon's structured logger. Both handlers write
+// to stderr like the old log.Printf surface did.
+func newLogger(jsonOut bool) *slog.Logger {
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	return slog.New(h).With("app", "nbodyd")
+}
+
+// debugMux mounts the pprof handlers explicitly (rather than importing
+// net/http/pprof for its DefaultServeMux side effect) so nothing else
+// ever leaks onto the debug listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
 }

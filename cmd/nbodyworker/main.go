@@ -13,7 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -29,15 +29,21 @@ func main() {
 		retries   = flag.Int("dial-retries", 8, "redial attempts after a failed dial")
 		timeout   = flag.Duration("dial-timeout", 5*time.Second, "per-attempt dial timeout")
 		rejoins   = flag.Int("rejoin", 5, "consecutive failed join/serve cycles before giving up (negative: forever)")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON records instead of text")
 		quiet     = flag.Bool("q", false, "suppress job progress logging")
 	)
 	flag.Parse()
+	logger := newLogger(*logJSON)
 	if *join == "" {
-		fatal(fmt.Errorf("-join is required"))
+		fatal(logger, fmt.Errorf("-join is required"))
 	}
-	logf := log.New(os.Stderr, "nbodyworker: ", log.LstdFlags).Printf
-	if *quiet {
-		logf = nil
+	// ServeLoop speaks printf; bridge its lines into the structured
+	// logger so worker logs share one format with nbodyd's.
+	var logf func(format string, args ...any)
+	if !*quiet {
+		logf = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...), "component", "worker")
+		}
 	}
 	// Each cycle joins the coordinator's current machine generation and
 	// serves it; when the generation dies under us (coordinator fault,
@@ -53,17 +59,28 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if logf != nil {
-			logf("joined %s as proc %d of %d", *join, node.ProcID(), node.NumProcs())
+		if !*quiet {
+			logger.Info("joined cluster", "component", "worker",
+				"coordinator", *join, "proc", node.ProcID(), "procs", node.NumProcs())
 		}
 		return node, nil
 	}, cluster.RejoinPolicy{Max: *rejoins}, logf)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nbodyworker:", err)
+func newLogger(jsonOut bool) *slog.Logger {
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	return slog.New(h).With("app", "nbodyworker")
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/msg"
+	"repro/internal/obsv"
 	"repro/internal/parbh"
 	"repro/internal/transport"
 )
@@ -120,6 +121,13 @@ type Coordinator struct {
 	// returns a FaultStall error — the watchdog that detects a worker
 	// dying silently mid-step. 0 disables the watchdog.
 	StepTimeout time.Duration
+	// Tracer, when non-nil, is attached to every machine this
+	// coordinator builds. It captures simulated-clock spans for the
+	// ranks hosted by this process (workers' ranks trace in their own
+	// processes; shipping those events would itself be communication
+	// and violate the tracing-changes-nothing rule). Wrap the link with
+	// obsv.WrapLink to capture the host-clock side as well.
+	Tracer *obsv.Tracer
 
 	// Control-message fetcher state (see recvHost).
 	pending  chan hostEvent
@@ -221,6 +229,7 @@ func (c *Coordinator) RunFrom(job Job, from int, onStep func(step int, res *parb
 	if err != nil {
 		return nil, err
 	}
+	eng.Machine().SetTracer(c.Tracer)
 	// Barrier: every worker must have its engine built and handlers
 	// installed before any rank frame can flow, or early frames would
 	// hit a link with no machine behind it. Acks from stale epochs —

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/parbh"
 	"repro/internal/transport"
 )
@@ -41,11 +43,22 @@ type Supervisor struct {
 	// supervisor assembles (zero keeps the Coordinator defaults).
 	SetupTimeout time.Duration
 	StepTimeout  time.Duration
-	// Logf, if non-nil, narrates recoveries.
+	// Logf, if non-nil, narrates recoveries as formatted lines. It is
+	// the compatibility surface: callers (and tests) that pin log lines
+	// keep getting exactly them.
 	Logf func(format string, args ...any)
+	// Logger, if non-nil, narrates the same events as structured slog
+	// records with typed fields (fault kind, attempt, resume step,
+	// generation). When both are set, Logf keeps its pinned lines and
+	// Logger gets the structured record.
+	Logger *slog.Logger
 	// OnRecovery, if non-nil, observes every recovery event (metrics,
 	// progress streams).
 	OnRecovery func(RecoveryEvent)
+	// Tracer, when non-nil, is installed on every coordinator this
+	// supervisor assembles, so traces span machine generations: a fault,
+	// the rebuild, and the replayed steps all land in one capture.
+	Tracer *obsv.Tracer
 
 	assemble  Assembler
 	coord     *Coordinator
@@ -61,6 +74,28 @@ func NewSupervisor(assemble Assembler) *Supervisor {
 func (s *Supervisor) logf(format string, args ...any) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
+	} else if s.Logger != nil {
+		s.Logger.Info(fmt.Sprintf(format, args...), "component", "cluster")
+	}
+}
+
+// narrateRecovery reports one recovery on whichever logging surfaces
+// are configured: the printf shim keeps its line format, the structured
+// logger gets typed fields.
+func (s *Supervisor) narrateRecovery(ev RecoveryEvent) {
+	if s.Logf != nil {
+		s.Logf("cluster: recovering from %s fault (attempt %d/%d, resume step %d): %v",
+			ev.Fault, ev.Attempt, s.MaxRetries, ev.ResumeStep, ev.Err)
+	}
+	if s.Logger != nil {
+		s.Logger.Warn("recovering from transport fault",
+			"component", "cluster",
+			"fault", ev.Fault.String(),
+			"attempt", ev.Attempt,
+			"max_retries", s.MaxRetries,
+			"resume_step", ev.ResumeStep,
+			"generation", s.epochBase,
+			"err", ev.Err)
 	}
 }
 
@@ -83,8 +118,19 @@ func (s *Supervisor) Ensure() error {
 	if s.StepTimeout > 0 {
 		c.StepTimeout = s.StepTimeout
 	}
+	c.Tracer = s.Tracer
 	s.coord = c
 	return nil
+}
+
+// SetTracer installs (or, with nil, removes) the tracer on this
+// supervisor and on the live generation's coordinator, if any. The
+// service layer calls it per traced job.
+func (s *Supervisor) SetTracer(tr *obsv.Tracer) {
+	s.Tracer = tr
+	if s.coord != nil {
+		s.coord.Tracer = tr
+	}
 }
 
 // discard demolishes the current generation after a failure. Abort, not
@@ -149,8 +195,7 @@ func (s *Supervisor) RunFrom(job Job, from int, onStep func(step int, res *parbh
 			return nil, err
 		}
 		ev := RecoveryEvent{Attempt: attempt + 1, Fault: transport.FaultKindOf(err), Err: err, ResumeStep: resume}
-		s.logf("cluster: recovering from %s fault (attempt %d/%d, resume step %d): %v",
-			ev.Fault, ev.Attempt, s.MaxRetries, ev.ResumeStep, err)
+		s.narrateRecovery(ev)
 		if s.OnRecovery != nil {
 			s.OnRecovery(ev)
 		}

@@ -282,6 +282,7 @@ func All(opt Options) ([]Table, error) {
 		{"serial", SerialTable},
 		{"transport", TransportTable},
 		{"faults", FaultsTable},
+		{"loadbalance", LoadBalanceTable},
 	}
 	var out []Table
 	for _, g := range gens {
@@ -305,17 +306,18 @@ func ByID(id string) (func(Options) (Table, error), bool) {
 		"6": Table6, "table6": Table6,
 		"7": Table7, "table7": Table7,
 		"fig9": Fig9, "9": Fig9,
-		"scaling":   ScalingTable,
-		"kw":        KruskalWeissTable,
-		"ship":      ShippingTable,
-		"binsize":   BinSizeTable,
-		"lookup":    LookupTable,
-		"ordering":  OrderingTable,
-		"treebuild": TreeBuildTable,
-		"fmm":       FMMTable,
-		"serial":    SerialTable,
-		"transport": TransportTable,
-		"faults":    FaultsTable,
+		"scaling":     ScalingTable,
+		"kw":          KruskalWeissTable,
+		"ship":        ShippingTable,
+		"binsize":     BinSizeTable,
+		"lookup":      LookupTable,
+		"ordering":    OrderingTable,
+		"treebuild":   TreeBuildTable,
+		"fmm":         FMMTable,
+		"serial":      SerialTable,
+		"transport":   TransportTable,
+		"faults":      FaultsTable,
+		"loadbalance": LoadBalanceTable,
 	}
 	fn, ok := m[id]
 	return fn, ok

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/obsv"
+	"repro/internal/parbh"
+)
+
+// LoadBalanceTable profiles the force-phase work distribution of the
+// three formulations. For each scheme and processor count it reports
+// the busiest rank's simulated compute time, the mean across ranks,
+// their ratio (the paper's load-imbalance metric from Section 5.2), and
+// the simulated seconds ranks spend idle waiting for the busiest one —
+// the quantity the dynamic schemes exist to shrink.
+func LoadBalanceTable(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	set, err := Dataset("g_28131", opt)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "loadbalance",
+		Title:   fmt.Sprintf("Force-phase load profiles, g_28131 scaled to n=%d (CM5)", set.N()),
+		Columns: []string{"scheme", "p", "work max (s)", "work mean (s)", "max/mean", "idle (s)", "idle %"},
+		Notes: []string{
+			"work is each rank's simulated force-phase compute time; idle is sum over ranks of (max - work)",
+			"SPSA's static scatter leaves the most idle time; costzones (DPDA) should flatten the histogram",
+		},
+	}
+	schemes := []parbh.Scheme{parbh.SPSA, parbh.SPDA, parbh.DPDA}
+	for _, scheme := range schemes {
+		for _, p := range procList(opt, 2, 4, 8) {
+			res, err := run(set, runCfg{
+				scheme:   scheme,
+				p:        p,
+				alpha:    0.67,
+				eps:      0.01,
+				gridLog2: 4,
+				profile:  msg.CM5(),
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			prof := obsv.ProfileWork(res.RankForce)
+			t.Rows = append(t.Rows, []string{
+				scheme.String(),
+				fmt.Sprintf("%d", p),
+				f3(prof.Max),
+				f3(prof.Mean),
+				f2(prof.MaxOverMean),
+				f3(prof.IdleTotal),
+				fmt.Sprintf("%.1f", prof.IdleFrac*100),
+			})
+		}
+	}
+	return t, nil
+}

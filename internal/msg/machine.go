@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obsv"
 	"repro/internal/transport"
 )
 
@@ -265,8 +266,21 @@ type Machine struct {
 	copyOnSend bool
 	strictWire bool
 
+	// tracer, when non-nil, records simulated-clock events (message
+	// instants here, phase spans in parbh). Hooks only read the clock —
+	// never advance it — so simulated metrics are bit-identical with
+	// tracing on or off (see internal/obsv and its golden tests).
+	tracer *obsv.Tracer
+
 	failure atomic.Pointer[failureCell] // transport failure or interrupt, if any
 }
+
+// SetTracer attaches an observability tracer; nil detaches. Set it
+// before Run — ranks read the field without synchronization.
+func (m *Machine) SetTracer(tr *obsv.Tracer) { m.tracer = tr }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (m *Machine) Tracer() *obsv.Tracer { return m.tracer }
 
 // failureCell boxes the first failure recorded against the machine.
 type failureCell struct{ err error }
@@ -461,6 +475,14 @@ func (p *Proc) Send(dst, tag int, payload any, words int) {
 	if dst == p.id {
 		// Loopback: deliver without network cost beyond the startup.
 		arrival = p.now
+	}
+	if tr := p.m.tracer; tr != nil {
+		// Collectives dominate message counts; recording them as instants
+		// keeps the trace readable at p=256 (one marker per send, phase
+		// spans carry the durations).
+		tr.SimInstant(p.id, "send", "msg", p.now,
+			obsv.Int("dst", dst), obsv.Int("tag", tag), obsv.Int("words", words),
+			obsv.F64("arrival_s", arrival))
 	}
 	if p.m.strictWire && !transport.Registered(payload) {
 		panic(fmt.Sprintf("msg: payload type %s sent by proc %d (tag %d) has no transport codec",

@@ -1,0 +1,156 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export (the JSON Object Format of the Trace Event
+// specification, loadable in Perfetto and chrome://tracing). The two
+// clocks become two "processes": every simulated rank is one thread of
+// the simulated-clock process, every transport proc one thread of the
+// host-clock process, so Perfetto renders one track per rank with the
+// per-phase spans stacked and message sends as instant markers.
+//
+// The export is deterministic: events are totally ordered by
+// sortedEvents and args maps are emitted by encoding/json (which sorts
+// map keys), so identical runs produce byte-identical files — the
+// property the golden trace test pins.
+
+// Pids of the two clock "processes" in the export.
+const (
+	SimPID  = 1
+	HostPID = 2
+)
+
+// chromeEvent mirrors one trace-event JSON object. Field order here is
+// the serialization order.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: thread
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace as Chrome trace-event JSON, one event
+// per line inside the traceEvents array.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	evs := t.sortedEvents()
+	out := make([]chromeEvent, 0, len(evs)+8)
+	out = append(out, metadataEvents(evs)...)
+	for _, ev := range evs {
+		out = append(out, toChrome(ev))
+	}
+	for i, ce := range out {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if i < len(out)-1 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	trailer := "],\"displayTimeUnit\":\"ms\""
+	if d := t.Dropped(); d > 0 {
+		trailer += fmt.Sprintf(",\"otherData\":{\"droppedEvents\":%d}", d)
+	}
+	trailer += "}\n"
+	if _, err := bw.WriteString(trailer); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func toChrome(ev Event) chromeEvent {
+	ce := chromeEvent{
+		Name: ev.Name,
+		Cat:  ev.Cat,
+		Ph:   string(rune(ev.Phase)),
+		Ts:   ev.Ts,
+		Pid:  pidOf(ev.Clock),
+		Tid:  ev.Rank,
+	}
+	if ev.Phase == SpanPhase {
+		dur := ev.Dur
+		ce.Dur = &dur
+	}
+	if ev.Phase == InstantPhase {
+		ce.S = "t"
+	}
+	if len(ev.Args) > 0 {
+		ce.Args = make(map[string]any, len(ev.Args))
+		for _, a := range ev.Args {
+			ce.Args[a.Key] = a.Val
+		}
+	}
+	return ce
+}
+
+func pidOf(c Clock) int {
+	if c == HostClock {
+		return HostPID
+	}
+	return SimPID
+}
+
+// metadataEvents names the clock processes and one thread per track so
+// Perfetto labels them, emitted in (pid, tid) order.
+func metadataEvents(evs []Event) []chromeEvent {
+	type track struct{ pid, tid int }
+	seen := map[track]bool{}
+	var tracks []track
+	for _, ev := range evs {
+		tr := track{pidOf(ev.Clock), ev.Rank}
+		if !seen[tr] {
+			seen[tr] = true
+			tracks = append(tracks, tr)
+		}
+	}
+	// sortedEvents ordering already yields (clock, rank) ascending, but
+	// re-sorting keeps this correct if the caller ever feeds raw events.
+	for i := 1; i < len(tracks); i++ {
+		for j := i; j > 0 && (tracks[j].pid < tracks[j-1].pid ||
+			(tracks[j].pid == tracks[j-1].pid && tracks[j].tid < tracks[j-1].tid)); j-- {
+			tracks[j], tracks[j-1] = tracks[j-1], tracks[j]
+		}
+	}
+	var out []chromeEvent
+	emittedPid := map[int]bool{}
+	for _, tr := range tracks {
+		if !emittedPid[tr.pid] {
+			emittedPid[tr.pid] = true
+			name := "simulated clock"
+			if tr.pid == HostPID {
+				name = "host clock"
+			}
+			out = append(out, chromeEvent{Name: "process_name", Ph: "M", Pid: tr.pid, Tid: 0,
+				Args: map[string]any{"name": name}})
+		}
+		label := fmt.Sprintf("rank %d", tr.tid)
+		if tr.pid == HostPID {
+			label = fmt.Sprintf("proc %d", tr.tid)
+		}
+		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Pid: tr.pid, Tid: tr.tid,
+			Args: map[string]any{"name": label}})
+	}
+	return out
+}

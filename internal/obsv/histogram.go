@@ -1,0 +1,88 @@
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free Prometheus-style histogram: fixed upper
+// bounds, cumulative rendering, atomic counters so Observe is safe from
+// any goroutine (the nbodyd worker pool observes concurrently).
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64      // strictly increasing upper bounds; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given strictly increasing
+// bucket upper bounds (the +Inf bucket is implicit).
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obsv: histogram %s bounds not increasing at %d", name, i))
+		}
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n upper bounds starting at lo, each factor× the
+// previous — the usual decade/half-decade Prometheus layout.
+func ExpBuckets(lo, factor float64, n int) []float64 {
+	if lo <= 0 || factor <= 1 || n <= 0 {
+		panic("obsv: ExpBuckets needs lo > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Render appends the Prometheus text-exposition (v0.0.4) form of the
+// histogram: # HELP/# TYPE headers, cumulative _bucket samples with le
+// labels, then _sum and _count.
+func (h *Histogram) Render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", h.name, h.help)
+	fmt.Fprintf(b, "# TYPE %s histogram\n", h.name)
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", h.name, ub, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n", h.name, math.Float64frombits(h.sum.Load()))
+	fmt.Fprintf(b, "%s_count %d\n", h.name, h.count.Load())
+}

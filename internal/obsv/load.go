@@ -1,0 +1,53 @@
+package obsv
+
+// LoadProfile summarizes one step's per-rank work distribution — the
+// quantity the paper's load-balance comparison of SPSA/SPDA/DPDA is
+// about. Work is modelled compute seconds in the force phase per rank;
+// idle time is how long each rank waits for the most loaded one at the
+// phase-ending synchronization.
+type LoadProfile struct {
+	Work []float64 // per-rank busy seconds (the work histogram)
+	Idle []float64 // per-rank Max - Work[i]
+
+	Max  float64
+	Mean float64
+	// MaxOverMean is the imbalance ratio: 1.0 is a perfect balance, and
+	// parallel efficiency of the phase is bounded by 1/MaxOverMean.
+	MaxOverMean float64
+	// IdleTotal is the summed idle seconds across ranks; IdleFrac is the
+	// fraction of the phase's aggregate processor-seconds (Max × ranks)
+	// spent idle.
+	IdleTotal float64
+	IdleFrac  float64
+}
+
+// ProfileWork computes a LoadProfile from per-rank work measurements.
+// The input slice is copied.
+func ProfileWork(work []float64) LoadProfile {
+	lp := LoadProfile{Work: append([]float64(nil), work...)}
+	if len(work) == 0 {
+		return lp
+	}
+	var sum float64
+	for _, w := range work {
+		sum += w
+		if w > lp.Max {
+			lp.Max = w
+		}
+	}
+	lp.Mean = sum / float64(len(work))
+	lp.Idle = make([]float64, len(work))
+	for i, w := range work {
+		lp.Idle[i] = lp.Max - w
+		lp.IdleTotal += lp.Idle[i]
+	}
+	if lp.Mean > 0 {
+		lp.MaxOverMean = lp.Max / lp.Mean
+	} else {
+		lp.MaxOverMean = 1
+	}
+	if lp.Max > 0 {
+		lp.IdleFrac = lp.IdleTotal / (lp.Max * float64(len(work)))
+	}
+	return lp
+}

@@ -1,0 +1,249 @@
+// Package obsv is the observability subsystem for the simulated SPMD
+// machine and its host runtime: per-rank trace spans on both clocks,
+// per-step load-imbalance profiles, and exporters (Chrome/Perfetto
+// trace-event JSON, Prometheus histograms).
+//
+// Two clocks, two kinds of events. The *simulated* clock is the paper's
+// clock: flop-charged compute plus the ts/tw/th communication model.
+// Simulated spans and instants carry timestamps in simulated seconds and
+// are attributed to machine ranks. The *host* clock is the wall clock of
+// the process; host spans and instants carry wall time relative to the
+// tracer's epoch and are attributed to transport processes. The two
+// never mix in one track.
+//
+// The cardinal rule, inherited from the host-performance layer (DESIGN
+// §7): observing a run must not change it. Tracer hooks only read the
+// simulated clock, never advance it, so every simulated metric — Stats,
+// communication words and messages, forces — is bit-identical with
+// tracing enabled or disabled. Tests pin this per scheme.
+//
+// A nil *Tracer is valid everywhere and records nothing; hot paths pay
+// one pointer test when tracing is off.
+package obsv
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock labels which clock an event's timestamps belong to.
+type Clock uint8
+
+const (
+	// SimClock timestamps are simulated seconds since machine start.
+	SimClock Clock = iota
+	// HostClock timestamps are wall-clock microseconds since the
+	// tracer's epoch.
+	HostClock
+)
+
+// Phase is the Chrome trace-event phase of an event.
+type Phase byte
+
+const (
+	// SpanPhase is a complete span ("X"): a named interval on a track.
+	SpanPhase Phase = 'X'
+	// InstantPhase is a point event ("i"), e.g. one message send.
+	InstantPhase Phase = 'i'
+)
+
+// Arg is one key/value annotation attached to an event.
+type Arg struct {
+	Key string
+	Val any // string, bool, or a numeric type
+}
+
+// Str builds a string annotation.
+func Str(k, v string) Arg { return Arg{Key: k, Val: v} }
+
+// Int builds an integer annotation.
+func Int(k string, v int) Arg { return Arg{Key: k, Val: v} }
+
+// F64 builds a float annotation.
+func F64(k string, v float64) Arg { return Arg{Key: k, Val: v} }
+
+// Event is one recorded trace event. Timestamps are microseconds on the
+// event's clock (simulated seconds ×1e6, or wall time since the tracer
+// epoch).
+type Event struct {
+	Clock Clock
+	Phase Phase
+	Rank  int // simulated rank, or transport proc id for host events
+	Name  string
+	Cat   string
+	Ts    float64 // µs
+	Dur   float64 // µs, spans only
+	Args  []Arg
+}
+
+// DefaultCap bounds the event buffer of New: enough for thousands of
+// traced steps at modest processor counts while keeping a runaway trace
+// from eating the process (a 256-rank step emits a few thousand events).
+const DefaultCap = 1 << 20
+
+// Tracer accumulates events from many goroutines. The zero value is not
+// usable; construct with New or NewWithCap. A nil *Tracer is a valid
+// no-op recorder.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped int64
+	epoch   time.Time
+}
+
+// New returns a tracer with the default event cap.
+func New() *Tracer { return NewWithCap(DefaultCap) }
+
+// NewWithCap returns a tracer holding at most capEvents events; further
+// events are counted in Dropped and discarded, never blocking the run.
+func NewWithCap(capEvents int) *Tracer {
+	if capEvents <= 0 {
+		capEvents = DefaultCap
+	}
+	return &Tracer{cap: capEvents, epoch: time.Now()}
+}
+
+// Enabled reports whether the tracer records events; it is false for a
+// nil tracer, so call sites can skip argument construction entirely.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) add(ev Event) {
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// SimSpan records a completed interval [startSec, endSec] (simulated
+// seconds) on a rank's simulated track. Zero- and negative-length spans
+// are dropped: the phase hooks emit unconditionally and the clock
+// legitimately stands still through empty phases.
+func (t *Tracer) SimSpan(rank int, name, cat string, startSec, endSec float64, args ...Arg) {
+	if t == nil || endSec <= startSec {
+		return
+	}
+	t.add(Event{Clock: SimClock, Phase: SpanPhase, Rank: rank, Name: name, Cat: cat,
+		Ts: startSec * 1e6, Dur: (endSec - startSec) * 1e6, Args: args})
+}
+
+// SimInstant records a point event at tsSec (simulated seconds) on a
+// rank's simulated track.
+func (t *Tracer) SimInstant(rank int, name, cat string, tsSec float64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Clock: SimClock, Phase: InstantPhase, Rank: rank, Name: name, Cat: cat,
+		Ts: tsSec * 1e6, Args: args})
+}
+
+// HostSpan records a completed wall-clock interval on a transport
+// process's host track.
+func (t *Tracer) HostSpan(proc int, name, cat string, start, end time.Time, args ...Arg) {
+	if t == nil || !end.After(start) {
+		return
+	}
+	t.add(Event{Clock: HostClock, Phase: SpanPhase, Rank: proc, Name: name, Cat: cat,
+		Ts: t.hostTs(start), Dur: float64(end.Sub(start).Nanoseconds()) / 1e3, Args: args})
+}
+
+// HostInstant records a wall-clock point event on a transport process's
+// host track.
+func (t *Tracer) HostInstant(proc int, name, cat string, ts time.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Clock: HostClock, Phase: InstantPhase, Rank: proc, Name: name, Cat: cat,
+		Ts: t.hostTs(ts), Args: args})
+}
+
+func (t *Tracer) hostTs(ts time.Time) float64 {
+	return float64(ts.Sub(t.epoch).Nanoseconds()) / 1e3
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded at the cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a snapshot copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset discards all recorded events (the cap and epoch are kept).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// sortedEvents returns the events in the canonical export order: by
+// clock, then rank, then timestamp, with remaining ties broken on every
+// remaining field so the export is byte-stable regardless of the
+// interleaving in which concurrent ranks appended.
+func (t *Tracer) sortedEvents() []Event {
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Clock != b.Clock {
+			return a.Clock < b.Clock
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur // longer span first: encloses the shorter
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return argsLess(a.Args, b.Args)
+	})
+	return evs
+}
+
+func argsLess(a, b []Arg) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Key != b[i].Key {
+			return a[i].Key < b[i].Key
+		}
+	}
+	return len(a) < len(b)
+}

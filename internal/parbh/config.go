@@ -224,6 +224,11 @@ type Result struct {
 	CommMessages int64
 	// Imbalance is max/mean of the per-processor force-phase compute time.
 	Imbalance float64
+	// RankForce is the per-rank force-phase compute time Imbalance is
+	// derived from — the per-step load histogram the observability layer
+	// profiles. Indexed by rank; filled for remote ranks too on a
+	// distributed machine.
+	RankForce []float64
 	// BranchNodes is the total number of branch nodes across processors.
 	BranchNodes int
 }

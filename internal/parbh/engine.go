@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/keys"
 	"repro/internal/msg"
+	"repro/internal/obsv"
 	"repro/internal/partition"
 	"repro/internal/phys"
 	"repro/internal/tree"
@@ -262,26 +263,48 @@ func (e *Engine) StepErr() (*Result, error) {
 	distributed := e.machine.Distributed()
 	leader := e.machine.Leader()
 
+	tracer := e.machine.Tracer()
+	step := e.step
+
 	machineStats, runErr := e.machine.RunErr(func(pr *msg.Proc) {
 		st := &localState{me: pr.ID(), parts: e.parts[pr.ID()]}
 		marks := make([]float64, 0, 8)
-		mark := func() { marks = append(marks, pr.GlobalMaxTime()) }
-		mark()
+		// mark closes a phase: it reads this rank's own clock, then joins
+		// the phase-delimiting collective that advances every clock to the
+		// global maximum. With a tracer attached the gap between the two
+		// readings becomes the rank's "barrier wait" span — the per-rank
+		// idle time the load-balance comparison is about. The tracer only
+		// observes the clock values the collective produces anyway, so the
+		// simulated metrics are identical with tracing on or off.
+		mark := func(phase string) {
+			own := pr.Now()
+			global := pr.GlobalMaxTime()
+			if tracer != nil && phase != "" {
+				start := marks[len(marks)-1]
+				tracer.SimSpan(pr.ID(), phase, "phase", start, own, obsv.Int("step", step))
+				if global > own {
+					tracer.SimSpan(pr.ID(), "barrier wait", "wait", own, global,
+						obsv.Int("step", step), obsv.Str("after", phase))
+				}
+			}
+			marks = append(marks, global)
+		}
+		mark("")
 
 		e.migrate(pr, st)
-		mark()
+		mark(PhaseMigrate)
 
 		e.buildLocal(pr, st)
-		mark()
+		mark(PhaseLocalTree)
 
 		all := e.exchangeBranches(pr, st)
-		mark()
+		mark(PhaseBroadcast)
 
 		e.buildTopPhase(pr, st, all)
-		mark()
+		mark(PhaseTreeMerge)
 
 		e.forcePhase(pr, st, res)
-		mark()
+		mark(PhaseForce)
 
 		if distributed {
 			// Snapshot ownership before loadBalance reshuffles st.parts:
@@ -294,7 +317,11 @@ func (e *Engine) StepErr() (*Result, error) {
 		}
 
 		no, nb := e.loadBalance(pr, st)
-		mark()
+		mark(PhaseLoadBal)
+		if tracer != nil {
+			tracer.SimSpan(pr.ID(), "step", "step", marks[0], marks[len(marks)-1],
+				obsv.Int("step", step), obsv.F64("force_compute_s", st.forceT))
+		}
 
 		newParts[st.me] = st.parts
 		procStats[st.me] = st.stats
@@ -371,7 +398,11 @@ func (e *Engine) StepErr() (*Result, error) {
 		res.Efficiency = res.Speedup / float64(p)
 	}
 
-	// Imbalance of the force phase, by modelled compute time.
+	// Imbalance of the force phase, by modelled compute time. The raw
+	// per-rank times are exported too: they are the load histogram the
+	// observability layer profiles (gatherOutputs filled remote ranks'
+	// entries on a distributed machine).
+	res.RankForce = forceTimes
 	var sumT, maxT float64
 	for _, t := range forceTimes {
 		sumT += t

@@ -14,6 +14,7 @@ import (
 //	GET  /api/v1/jobs/{id}/stream NDJSON progress until the job ends
 //	POST /api/v1/jobs/{id}/cancel cancel a queued or running job
 //	GET  /api/v1/jobs/{id}/result final state of a completed job
+//	GET  /api/v1/jobs/{id}/trace  Chrome/Perfetto trace of a traced job
 //	GET  /metrics                 Prometheus-style text metrics
 //	GET  /healthz                 liveness probe
 func (s *Service) Handler() http.Handler {
@@ -24,6 +25,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -110,6 +112,16 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.Trace(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteChrome(w)
+}
+
 // StreamEvent is one NDJSON line of a progress stream. The final line
 // of a stream carries the job's terminal state.
 type StreamEvent struct {
@@ -165,6 +177,6 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", ExpositionContentType)
 	w.Write([]byte(s.metrics.Render()))
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	barneshut "repro"
+	"repro/internal/obsv"
 )
 
 // JobSpec is the client-facing description of one simulation job. Zero
@@ -67,6 +68,12 @@ type JobSpec struct {
 	// A tcp job performs distributed force evaluations (no integration)
 	// and requires the daemon to be started with a cluster listener.
 	Transport string `json:"transport,omitempty"`
+	// Trace enables per-rank trace capture for this job; the finished
+	// trace is served as Chrome/Perfetto JSON at
+	// GET /api/v1/jobs/{id}/trace. Tracing reads the simulated clock but
+	// never advances it, so traced and untraced runs produce identical
+	// simulated metrics.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // MaxParticles bounds accepted job sizes; larger requests are rejected
@@ -273,6 +280,9 @@ type Progress struct {
 	Phases map[string]float64 `json:"phases,omitempty"`
 	// CommWords is the last step's communication volume in 8-byte words.
 	CommWords int64 `json:"comm_words,omitempty"`
+	// Load, when present, is the last step's per-rank load-imbalance
+	// profile on the simulated clock.
+	Load *LoadSnapshot `json:"load,omitempty"`
 	// Event marks out-of-band lifecycle moments on the progress stream;
 	// "recovery" is published when a cluster job survives a transport
 	// fault and is re-queued to resume from Step.
@@ -281,6 +291,33 @@ type Progress struct {
 	Fault string `json:"fault,omitempty"`
 	// Retries is the number of fault recoveries this job has undergone.
 	Retries int `json:"retries,omitempty"`
+}
+
+// LoadSnapshot summarizes one step's per-rank force-phase work on the
+// simulated clock: how long the busiest rank computed, the mean across
+// ranks, their ratio (the paper's load-imbalance metric), and the total
+// simulated seconds ranks spent idle waiting for the busiest one.
+type LoadSnapshot struct {
+	MaxSeconds  float64 `json:"max_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	MaxOverMean float64 `json:"max_over_mean"`
+	IdleSeconds float64 `json:"idle_seconds"`
+	Ranks       int     `json:"ranks"`
+}
+
+// loadSnapshot profiles per-rank work; nil when no measurements exist.
+func loadSnapshot(work []float64) *LoadSnapshot {
+	if len(work) == 0 {
+		return nil
+	}
+	p := obsv.ProfileWork(work)
+	return &LoadSnapshot{
+		MaxSeconds:  p.Max,
+		MeanSeconds: p.Mean,
+		MaxOverMean: p.MaxOverMean,
+		IdleSeconds: p.IdleTotal,
+		Ranks:       len(work),
+	}
 }
 
 // Result is the final output of a completed job.
@@ -302,22 +339,40 @@ type Job struct {
 	ID   string  `json:"id"`
 	Spec JobSpec `json:"spec"`
 
-	mu        sync.Mutex
-	state     State
-	err       string
-	created   time.Time
-	started   time.Time
-	finished  time.Time
-	resumed   int // step count restored from a spool checkpoint
-	retries   int // transport-fault recoveries so far
-	progress  Progress
-	result    *Result
+	mu       sync.Mutex
+	state    State
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	resumed  int // step count restored from a spool checkpoint
+	retries  int // transport-fault recoveries so far
+	progress Progress
+	result   *Result
 	// Cluster jobs resume by deterministic replay from a step index; the
 	// pair below is the in-memory mirror of the cluster checkpoint.
 	clusterStep    int
 	clusterMachine float64
+	// trace holds the job's tracer when the spec asked for one; it
+	// accumulates across retries and resumes and is served after the job
+	// ends (and, read-only, while it runs).
+	trace     *obsv.Tracer
 	cancelled chan struct{} // closed by Cancel
 	subs      map[chan Progress]struct{}
+}
+
+// setTrace installs the job's tracer (worker side, before the run).
+func (j *Job) setTrace(tr *obsv.Tracer) {
+	j.mu.Lock()
+	j.trace = tr
+	j.mu.Unlock()
+}
+
+// Trace returns the job's tracer, or nil when the job is untraced.
+func (j *Job) Trace() *obsv.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 func newJob(id string, spec JobSpec, now time.Time) *Job {

@@ -7,8 +7,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/transport"
 )
+
+// ExpositionContentType is the Prometheus text exposition content type
+// served on /metrics. Version 0.0.4 is the plain-text format every
+// Prometheus scraper understands.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // Metrics aggregates service counters and gauges. All fields are atomic
 // so workers update them without coordination; the /metrics endpoint
@@ -34,6 +40,13 @@ type Metrics struct {
 	CheckpointByte atomic.Int64
 	machineMicros  atomic.Int64 // simulated machine time, microseconds
 
+	// StepSimSeconds and StepImbalance are per-step distributions of the
+	// simulated machine time and the load-imbalance ratio across all jobs.
+	// Both observe simulated-clock quantities; host time never enters
+	// these histograms.
+	StepSimSeconds *obsv.Histogram
+	StepImbalance  *obsv.Histogram
+
 	// recoveries counts fault recoveries by transport.FaultKind.
 	recoveries [transport.FaultClosed + 1]atomic.Int64
 
@@ -46,7 +59,26 @@ type Metrics struct {
 }
 
 func newMetrics(clock Clock) *Metrics {
-	return &Metrics{start: clock.Now(), clock: clock}
+	return &Metrics{
+		start: clock.Now(),
+		clock: clock,
+		StepSimSeconds: obsv.NewHistogram("nbodyd_step_sim_seconds",
+			"Simulated machine seconds per completed step.",
+			obsv.ExpBuckets(0.001, 10, 7)),
+		StepImbalance: obsv.NewHistogram("nbodyd_step_imbalance_ratio",
+			"Per-step load imbalance (max over mean rank work).",
+			[]float64{1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10}),
+	}
+}
+
+// ObserveStep records one completed step's simulated-clock measurements.
+func (m *Metrics) ObserveStep(simSeconds, imbalance float64) {
+	if m.StepSimSeconds != nil {
+		m.StepSimSeconds.Observe(simSeconds)
+	}
+	if m.StepImbalance != nil && imbalance > 0 {
+		m.StepImbalance.Observe(imbalance)
+	}
 }
 
 // AddMachineTime accumulates simulated machine seconds.
@@ -85,24 +117,24 @@ func (m *Metrics) Render() string {
 		stepsPerSec = float64(m.StepsTotal.Load()) / uptime
 	}
 	rows := map[string]string{
-		"nbodyd_jobs_submitted_total":    fmt.Sprintf("%d", m.JobsSubmitted.Load()),
-		"nbodyd_jobs_rejected_total":     fmt.Sprintf("%d", m.JobsRejected.Load()),
-		"nbodyd_jobs_invalid_total":      fmt.Sprintf("%d", m.JobsInvalid.Load()),
-		"nbodyd_jobs_resumed_total":      fmt.Sprintf("%d", m.JobsResumed.Load()),
-		"nbodyd_jobs_done_total":         fmt.Sprintf("%d", m.JobsDone.Load()),
-		"nbodyd_jobs_failed_total":       fmt.Sprintf("%d", m.JobsFailed.Load()),
-		"nbodyd_jobs_canceled_total":     fmt.Sprintf("%d", m.JobsCanceled.Load()),
-		"nbodyd_jobs_queued":             fmt.Sprintf("%d", m.JobsQueued.Load()),
-		"nbodyd_jobs_running":            fmt.Sprintf("%d", m.JobsRunning.Load()),
-		"nbodyd_workers":                 fmt.Sprintf("%d", m.Workers.Load()),
-		"nbodyd_worker_utilization":      fmt.Sprintf("%.4f", m.utilization()),
-		"nbodyd_steps_total":             fmt.Sprintf("%d", m.StepsTotal.Load()),
-		"nbodyd_steps_per_second":        fmt.Sprintf("%.4f", stepsPerSec),
-		"nbodyd_checkpoints_total":       fmt.Sprintf("%d", m.Checkpoints.Load()),
-		"nbodyd_checkpoint_bytes_total":  fmt.Sprintf("%d", m.CheckpointByte.Load()),
-		"nbodyd_machine_seconds_total":   fmt.Sprintf("%.6f", float64(m.machineMicros.Load())/1e6),
-		"nbodyd_uptime_seconds":          fmt.Sprintf("%.3f", uptime),
-		"nbodyd_jobs_retried_total":      fmt.Sprintf("%d", m.JobsRetried.Load()),
+		"nbodyd_jobs_submitted_total":   fmt.Sprintf("%d", m.JobsSubmitted.Load()),
+		"nbodyd_jobs_rejected_total":    fmt.Sprintf("%d", m.JobsRejected.Load()),
+		"nbodyd_jobs_invalid_total":     fmt.Sprintf("%d", m.JobsInvalid.Load()),
+		"nbodyd_jobs_resumed_total":     fmt.Sprintf("%d", m.JobsResumed.Load()),
+		"nbodyd_jobs_done_total":        fmt.Sprintf("%d", m.JobsDone.Load()),
+		"nbodyd_jobs_failed_total":      fmt.Sprintf("%d", m.JobsFailed.Load()),
+		"nbodyd_jobs_canceled_total":    fmt.Sprintf("%d", m.JobsCanceled.Load()),
+		"nbodyd_jobs_queued":            fmt.Sprintf("%d", m.JobsQueued.Load()),
+		"nbodyd_jobs_running":           fmt.Sprintf("%d", m.JobsRunning.Load()),
+		"nbodyd_workers":                fmt.Sprintf("%d", m.Workers.Load()),
+		"nbodyd_worker_utilization":     fmt.Sprintf("%.4f", m.utilization()),
+		"nbodyd_steps_total":            fmt.Sprintf("%d", m.StepsTotal.Load()),
+		"nbodyd_steps_per_second":       fmt.Sprintf("%.4f", stepsPerSec),
+		"nbodyd_checkpoints_total":      fmt.Sprintf("%d", m.Checkpoints.Load()),
+		"nbodyd_checkpoint_bytes_total": fmt.Sprintf("%d", m.CheckpointByte.Load()),
+		"nbodyd_machine_seconds_total":  fmt.Sprintf("%.6f", float64(m.machineMicros.Load())/1e6),
+		"nbodyd_uptime_seconds":         fmt.Sprintf("%.3f", uptime),
+		"nbodyd_jobs_retried_total":     fmt.Sprintf("%d", m.JobsRetried.Load()),
 	}
 	for kind := transport.FaultPeerLost; kind <= transport.FaultClosed; kind++ {
 		name := fmt.Sprintf("nbodyd_recoveries_%s_total", kind)
@@ -144,6 +176,12 @@ func (m *Metrics) Render() string {
 			kind = "gauge"
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n%s %s\n", name, kind, name, rows[name])
+	}
+	if m.StepSimSeconds != nil {
+		m.StepSimSeconds.Render(&b)
+	}
+	if m.StepImbalance != nil {
+		m.StepImbalance.Render(&b)
 	}
 	return b.String()
 }

@@ -1,0 +1,214 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsExposition scrapes /metrics after a completed job and
+// validates the response as a Prometheus text-exposition (v0.0.4)
+// parser would: exact Content-Type, every non-comment line is
+// `name{labels} value` with a parseable float, every sample is preceded
+// by a # TYPE for its family, and the new step histograms are present
+// with cumulative buckets.
+func TestMetricsExposition(t *testing.T) {
+	clock := NewFakeClock(time.Unix(3_000_000, 0))
+	svc := startService(t, Options{Workers: 1, Clock: clock})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	_, st := postJob(t, ts, shortSpec(2))
+	waitUntil(t, "job done", func() bool { return getStatus(t, ts, st.ID).State == StateDone })
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ExpositionContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, ExpositionContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	typed := map[string]string{} // family → kind
+	samples := map[string]float64{}
+	for i, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", i+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", i+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown metric kind %q", i+1, parts[3])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", i+1, line)
+		}
+		// Sample line: name or name{labels}, space, float.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", i+1, line)
+		}
+		nameAndLabels, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", i+1, valStr, err)
+		}
+		name := nameAndLabels
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("line %d: unterminated labels in %q", i+1, line)
+			}
+			name = name[:b]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(name, suffix); ok && typed[trimmed] == "histogram" {
+				family = trimmed
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding # TYPE", i+1, name)
+		}
+		samples[nameAndLabels] = v
+	}
+
+	// The job ran 2 steps through the worker, so the histograms observed.
+	if typed["nbodyd_step_sim_seconds"] != "histogram" || typed["nbodyd_step_imbalance_ratio"] != "histogram" {
+		t.Fatalf("step histograms missing from exposition; families: %v", typed)
+	}
+	if got := samples["nbodyd_step_sim_seconds_count"]; got != 2 {
+		t.Errorf("nbodyd_step_sim_seconds_count = %g, want 2", got)
+	}
+	if got := samples[`nbodyd_step_sim_seconds_bucket{le="+Inf"}`]; got != 2 {
+		t.Errorf("+Inf bucket = %g, want 2 (cumulative)", got)
+	}
+	if samples["nbodyd_steps_total"] != 2 {
+		t.Errorf("nbodyd_steps_total = %g, want 2", samples["nbodyd_steps_total"])
+	}
+}
+
+// TestJobTraceEndpoint submits a traced job and fetches its Perfetto
+// trace: valid JSON, one thread per simulated rank, message instants
+// present. An untraced job must 404.
+func TestJobTraceEndpoint(t *testing.T) {
+	clock := NewFakeClock(time.Unix(3_100_000, 0))
+	svc := startService(t, Options{Workers: 1, Clock: clock})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	spec := shortSpec(2)
+	spec.Trace = true
+	_, traced := postJob(t, ts, spec)
+	waitUntil(t, "traced job done", func() bool { return getStatus(t, ts, traced.ID).State == StateDone })
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + traced.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("trace Content-Type = %q", got)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace is empty")
+	}
+	rankTracks := map[int]bool{}
+	instants := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			rankTracks[ev.Tid] = true
+		}
+		if ev.Ph == "i" {
+			instants++
+		}
+	}
+	// shortSpec runs p=2: one track per rank.
+	if !rankTracks[0] || !rankTracks[1] {
+		t.Errorf("rank tracks missing: %v", rankTracks)
+	}
+	if instants == 0 {
+		t.Error("no message instants in trace")
+	}
+
+	// Untraced job: 404 with the explanatory error.
+	_, plain := postJob(t, ts, shortSpec(1))
+	waitUntil(t, "plain job done", func() bool { return getStatus(t, ts, plain.ID).State == StateDone })
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + plain.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced job trace fetch: %d, want 404", resp2.StatusCode)
+	}
+	if resp3, err := http.Get(ts.URL + "/api/v1/jobs/nope/trace"); err == nil {
+		io.Copy(io.Discard, resp3.Body)
+		resp3.Body.Close()
+		if resp3.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job trace fetch: %d, want 404", resp3.StatusCode)
+		}
+	}
+}
+
+// TestProgressCarriesLoad checks the stream/status progress includes
+// the per-step load snapshot derived from per-rank force times.
+func TestProgressCarriesLoad(t *testing.T) {
+	clock := NewFakeClock(time.Unix(3_200_000, 0))
+	svc := startService(t, Options{Workers: 1, Clock: clock})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	_, st := postJob(t, ts, shortSpec(2))
+	waitUntil(t, "job done", func() bool { return getStatus(t, ts, st.ID).State == StateDone })
+	final := getStatus(t, ts, st.ID)
+	load := final.Progress.Load
+	if load == nil {
+		t.Fatal("final progress has no load snapshot")
+	}
+	if load.Ranks != 2 {
+		t.Errorf("load ranks = %d, want 2", load.Ranks)
+	}
+	if load.MaxSeconds < load.MeanSeconds || load.MeanSeconds <= 0 {
+		t.Errorf("implausible load: %+v", load)
+	}
+	if load.MaxOverMean < 1 {
+		t.Errorf("max/mean = %g, want >= 1", load.MaxOverMean)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	barneshut "repro"
 	"repro/internal/cluster"
+	"repro/internal/obsv"
 )
 
 // Errors reported by the service API layer.
@@ -29,6 +30,9 @@ var (
 	ErrTerminal = errors.New("service: job already terminal")
 	// ErrShuttingDown is returned by Submit after Shutdown begins.
 	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrNoTrace is returned by Trace for jobs submitted without trace
+	// capture; HTTP maps it to 404.
+	ErrNoTrace = errors.New(`service: job has no trace (submit with "trace": true)`)
 )
 
 // Options configures a Service.
@@ -299,6 +303,21 @@ func (s *Service) Result(id string) (*Result, error) {
 		return nil, ErrNotDone
 	}
 	return j.result, nil
+}
+
+// Trace returns the tracer of a job submitted with Trace: true. The
+// tracer is live while the job runs; WriteChrome snapshots it
+// consistently at export time.
+func (s *Service) Trace(id string) (*obsv.Tracer, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	tr := j.Trace()
+	if tr == nil {
+		return nil, ErrNoTrace
+	}
+	return tr, nil
 }
 
 // Subscribe returns a progress channel for the job plus an unsubscribe

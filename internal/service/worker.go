@@ -5,9 +5,25 @@ import (
 
 	barneshut "repro"
 	"repro/internal/cluster"
+	"repro/internal/obsv"
 	"repro/internal/parbh"
 	"repro/internal/transport"
 )
+
+// jobTracer returns the tracer for a traced job, creating it on the
+// first run and reusing it across retries and resumes so one capture
+// spans the whole job.
+func jobTracer(j *Job) *obsv.Tracer {
+	if !j.Spec.Trace {
+		return nil
+	}
+	if tr := j.Trace(); tr != nil {
+		return tr
+	}
+	tr := obsv.New()
+	j.setTrace(tr)
+	return tr
+}
 
 // worker drains the queue until Shutdown. Each dequeued job runs to a
 // terminal state unless shutdown interrupts it, in which case the job is
@@ -80,6 +96,8 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 
+	sim.SetTracer(jobTracer(j))
+
 	ckptEvery := spec.CheckpointEvery
 	if ckptEvery == 0 {
 		ckptEvery = s.opt.CheckpointEvery
@@ -111,6 +129,7 @@ func (s *Service) runJob(j *Job) {
 		machineTime += res.SimTime
 		s.metrics.StepsTotal.Add(1)
 		s.metrics.AddMachineTime(res.SimTime)
+		s.metrics.ObserveStep(res.SimTime, res.Imbalance)
 		j.publish(Progress{
 			Step:        step,
 			Steps:       spec.Steps,
@@ -120,6 +139,7 @@ func (s *Service) runJob(j *Job) {
 			Imbalance:   res.Imbalance,
 			Phases:      res.Phases,
 			CommWords:   res.CommWords,
+			Load:        loadSnapshot(res.RankForce),
 		})
 		if ckptEvery > 0 && step%ckptEvery == 0 && step < spec.Steps {
 			s.checkpoint(j, sim, step)
@@ -191,6 +211,12 @@ func (s *Service) runClusterJob(j *Job) {
 
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
+	// The cluster supervisor is shared across jobs, so the tracer is
+	// installed only while this job holds the cluster lock.
+	if tr := jobTracer(j); tr != nil {
+		s.opt.Cluster.SetTracer(tr)
+		defer s.opt.Cluster.SetTracer(nil)
+	}
 	step := from
 	stopped := false
 	_, err = s.opt.Cluster.RunFrom(job, from, func(n int, res *barneshut.StepResult) bool {
@@ -207,6 +233,7 @@ func (s *Service) runClusterJob(j *Job) {
 		machineTime += res.SimTime
 		s.metrics.StepsTotal.Add(1)
 		s.metrics.AddMachineTime(res.SimTime)
+		s.metrics.ObserveStep(res.SimTime, res.Imbalance)
 		j.publish(Progress{
 			Step:        step,
 			Steps:       spec.Steps,
@@ -215,6 +242,7 @@ func (s *Service) runClusterJob(j *Job) {
 			Imbalance:   res.Imbalance,
 			Phases:      res.Phases,
 			CommWords:   res.CommWords,
+			Load:        loadSnapshot(res.RankForce),
 			Retries:     retries,
 		})
 		if ckptEvery > 0 && step%ckptEvery == 0 && step < spec.Steps {

@@ -61,14 +61,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	// A plausible-looking body with a hostile slice length.
 	bogus := make([]byte, 0, 64)
 	w := Writer{b: bogus}
-	w.U32(1)        // epoch
-	w.I32(0)        // src
-	w.I32(1)        // dst
-	w.I32(2)        // tag
-	w.I32(3)        // words
-	w.F64(0.5)      // arrival
-	w.U16(idF64s)   // []float64
-	w.U32(1 << 30)  // claimed length far beyond the input
+	w.U32(1)       // epoch
+	w.I32(0)       // src
+	w.I32(1)       // dst
+	w.I32(2)       // tag
+	w.I32(3)       // words
+	w.F64(0.5)     // arrival
+	w.U16(idF64s)  // []float64
+	w.U32(1 << 30) // claimed length far beyond the input
 	f.Add(w.Bytes())
 
 	f.Fuzz(func(t *testing.T, body []byte) {

@@ -36,15 +36,15 @@ func (m *Metrics) ObserveRTT(seconds float64) { m.rtt.observe(seconds) }
 
 // MetricsSnapshot is a point-in-time copy, safe to serialize.
 type MetricsSnapshot struct {
-	FramesSent   int64   `json:"frames_sent"`
-	FramesRecv   int64   `json:"frames_recv"`
-	BytesSent    int64   `json:"bytes_sent"`
-	BytesRecv    int64   `json:"bytes_recv"`
-	Dials        int64   `json:"dials"`
-	DialRetries  int64   `json:"dial_retries"`
-	DialFailures int64   `json:"dial_failures"`
-	Heartbeats   int64   `json:"heartbeats"`
-	ConnsOpen    int64   `json:"conns_open"`
+	FramesSent   int64 `json:"frames_sent"`
+	FramesRecv   int64 `json:"frames_recv"`
+	BytesSent    int64 `json:"bytes_sent"`
+	BytesRecv    int64 `json:"bytes_recv"`
+	Dials        int64 `json:"dials"`
+	DialRetries  int64 `json:"dial_retries"`
+	DialFailures int64 `json:"dial_failures"`
+	Heartbeats   int64 `json:"heartbeats"`
+	ConnsOpen    int64 `json:"conns_open"`
 
 	FaultsDropped    int64 `json:"faults_dropped,omitempty"`
 	FaultsDuplicated int64 `json:"faults_duplicated,omitempty"`
@@ -53,9 +53,9 @@ type MetricsSnapshot struct {
 	FaultsDeduped    int64 `json:"faults_deduped,omitempty"`
 	FaultsPartitions int64 `json:"faults_partitions,omitempty"`
 
-	RTTCount     int64   `json:"rtt_count"`
-	RTTp50       float64 `json:"rtt_p50_seconds"`
-	RTTp99       float64 `json:"rtt_p99_seconds"`
+	RTTCount int64   `json:"rtt_count"`
+	RTTp50   float64 `json:"rtt_p50_seconds"`
+	RTTp99   float64 `json:"rtt_p99_seconds"`
 }
 
 // Snapshot copies the counters and RTT percentiles.
@@ -79,9 +79,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		FaultsDeduped:    m.FaultsDeduped.Load(),
 		FaultsPartitions: m.FaultsPartitions.Load(),
 
-		RTTCount:     count,
-		RTTp50:       p50,
-		RTTp99:       p99,
+		RTTCount: count,
+		RTTp50:   p50,
+		RTTp99:   p99,
 	}
 }
 

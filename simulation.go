@@ -115,6 +115,15 @@ func NewSimulation(set *ParticleSet, cfg Config) (*Simulation, error) {
 // Config returns the simulation's effective configuration.
 func (s *Simulation) Config() Config { return s.cfg }
 
+// SetTracer attaches an observability tracer to the simulated machine;
+// nil detaches. Tracing records per-rank phase spans and message
+// instants without perturbing any simulated metric (see internal/obsv).
+// Attach it before stepping.
+func (s *Simulation) SetTracer(tr *Tracer) { s.machine.SetTracer(tr) }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (s *Simulation) Tracer() *Tracer { return s.machine.Tracer() }
+
 // Bodies returns the current particle states indexed by ID (a copy).
 func (s *Simulation) Bodies() []Particle {
 	out := make([]Particle, len(s.bodies))
