@@ -19,6 +19,12 @@
 // handlers under /debug/pprof/; they are never mounted on the public
 // API listener.
 //
+// With -gateway set, the daemon also joins an nbodygw fleet as a shard:
+// it dials the gateway's control port, registers under -shard-name
+// (default: hostname), and accepts up to -shard-capacity leased jobs
+// (default: the worker count) alongside its own HTTP submissions. The
+// agent reconnects with backoff if the gateway restarts.
+//
 // On SIGINT/SIGTERM the daemon stops accepting work, checkpoints every
 // running job to the spool, and exits; a daemon started later on the
 // same spool resumes the interrupted jobs from their last checkpoint.
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/service"
 	"repro/internal/transport"
 )
@@ -58,6 +65,9 @@ func main() {
 		cStep     = flag.Duration("cluster-step-timeout", 2*time.Minute, "watchdog on one distributed step (0 disables)")
 		jRetries  = flag.Int("job-retries", 3, "re-queues of a cluster job after transport faults before it fails")
 		jBackoff  = flag.Duration("retry-backoff", time.Second, "first re-queue delay, doubling per retry")
+		gateway   = flag.String("gateway", "", "nbodygw control address to register with as a fleet shard (empty disables)")
+		shardName = flag.String("shard-name", "", "stable shard identity on the gateway hash ring (default: the hostname)")
+		shardCap  = flag.Int("shard-capacity", 0, "concurrent gateway leases to advertise (default: worker pool size)")
 	)
 	flag.Parse()
 
@@ -129,6 +139,44 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "spool", *spool)
 
+	// With -gateway set, the daemon doubles as a fleet shard: a fabric
+	// agent registers the service with the gateway and runs leased
+	// assignments through the same local queue HTTP clients use.
+	var agentStop chan struct{}
+	var agentDone chan struct{}
+	if *gateway != "" {
+		name := *shardName
+		if name == "" {
+			if host, err := os.Hostname(); err == nil {
+				name = host
+			} else {
+				name = "shard"
+			}
+		}
+		capacity := *shardCap
+		if capacity <= 0 {
+			capacity = *workers
+		}
+		agent := &fabric.Agent{
+			Svc:      svc,
+			Gateway:  *gateway,
+			Name:     name,
+			HTTPAddr: *addr,
+			Capacity: capacity,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...), "component", "fabric")
+			},
+		}
+		agentStop = make(chan struct{})
+		agentDone = make(chan struct{})
+		go func() {
+			defer close(agentDone)
+			agent.Run(agentStop)
+		}()
+		logger.Info("fabric agent started", "component", "fabric",
+			"gateway", *gateway, "shard", name, "capacity", capacity)
+	}
+
 	var dbgSrv *http.Server
 	if *debugAddr != "" {
 		// pprof lives on its own listener, never the public API mux: the
@@ -152,7 +200,12 @@ func main() {
 		fatal("serve failed", "err", err)
 	}
 
-	// Stop admission first, then checkpoint and drain the workers.
+	// Stop admission first — the fabric agent deregisters so the gateway
+	// re-routes leased jobs — then checkpoint and drain the workers.
+	if agentStop != nil {
+		close(agentStop)
+		<-agentDone
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -307,3 +307,26 @@ func TestRecordingCapturesRuns(t *testing.T) {
 		t.Fatalf("recorder leaked %d records while inactive", len(recs))
 	}
 }
+
+func TestFabricTableShape(t *testing.T) {
+	r := FabricReport{
+		Shards: 3, Tenants: 2, Submitted: 10, Accepted: 9, Done: 9,
+		ElapsedSecs: 3.0, GoldenMatch: true, GoldenCached: true,
+	}
+	tbl := FabricTable(r)
+	if tbl.ID != "fabric" {
+		t.Fatalf("table id = %q, want fabric", tbl.ID)
+	}
+	if len(tbl.Columns) != 2 {
+		t.Fatalf("columns = %v, want metric/value", tbl.Columns)
+	}
+	text := tbl.Format()
+	for _, want := range []string{"lost", "cache hits", "golden match", "true", "3.00"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, text)
+		}
+	}
+	if got := r.Throughput(); got != 3.0 {
+		t.Fatalf("Throughput = %v, want 3.0", got)
+	}
+}

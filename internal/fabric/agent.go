@@ -1,0 +1,326 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/transport"
+)
+
+// Agent is the shard side of the fabric: it registers a local
+// service.Service with a gateway, accepts leased assignments, runs them
+// through the local job queue, streams progress back, and reports
+// terminal results. It reconnects with backoff if the gateway drops.
+type Agent struct {
+	// Svc is the local job service assignments run on.
+	Svc *service.Service
+	// Gateway is the gateway control address to register with.
+	Gateway string
+	// Name identifies this shard on the hash ring; it must be stable
+	// across reconnects so the shard keeps its ring positions.
+	Name string
+	// HTTPAddr is this shard's own API address, advertised for
+	// debugging (the fleet view shows it).
+	HTTPAddr string
+	// Capacity is the number of concurrent leases to advertise
+	// (default 1).
+	Capacity int
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// agentSession is one live gateway connection's state.
+type agentSession struct {
+	agent *Agent
+	conn  net.Conn
+
+	writeMu sync.Mutex // one frame at a time on the wire
+
+	mu     sync.Mutex
+	jobs   map[uint64]string // lease → local job ID
+	closed bool
+}
+
+// Run connects to the gateway and serves assignments until stop
+// closes. Connection failures back off and retry; Run only returns on
+// stop.
+func (a *Agent) Run(stop <-chan struct{}) {
+	if a.Logf == nil {
+		a.Logf = log.Printf
+	}
+	if a.Capacity < 1 {
+		a.Capacity = 1
+	}
+	backoff := 250 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		err := a.session(stop)
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if err != nil {
+			a.Logf("fabric agent %s: session ended: %v (reconnecting in %v)", a.Name, err, backoff)
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// session runs one registration: Hello/Welcome, then the assignment
+// pump until the connection dies or stop closes.
+func (a *Agent) session(stop <-chan struct{}) error {
+	conn, err := net.DialTimeout("tcp", a.Gateway, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial gateway %s: %w", a.Gateway, err)
+	}
+	s := &agentSession{agent: a, conn: conn, jobs: make(map[uint64]string)}
+	defer s.close()
+
+	if err := s.send(Hello{Name: a.Name, HTTPAddr: a.HTTPAddr, Capacity: int32(a.Capacity)}); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	kind, body, err := transport.ReadRaw(conn)
+	if err != nil {
+		return fmt.Errorf("awaiting welcome: %w", err)
+	}
+	if kind != transport.KindHost {
+		return fmt.Errorf("awaiting welcome: unexpected frame kind %d", kind)
+	}
+	v, err := transport.Unmarshal(body)
+	if err != nil {
+		return fmt.Errorf("decoding welcome: %w", err)
+	}
+	welcome, ok := v.(Welcome)
+	if !ok {
+		return fmt.Errorf("awaiting welcome: unexpected message %T", v)
+	}
+	leaseTTL := time.Duration(welcome.LeaseTTLMillis) * time.Millisecond
+	heartbeat := time.Duration(welcome.HeartbeatMillis) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = leaseTTL / 4
+	}
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+	a.Logf("fabric agent %s: registered with %s as shard %d (lease TTL %v)",
+		a.Name, a.Gateway, welcome.ShardID, leaseTTL)
+
+	// Heartbeats keep the lease alive even when no job traffic flows.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-stop:
+				return
+			case now := <-t.C:
+				if err := s.send(Ping{Nanos: now.UnixNano()}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	// A stop request tears the connection down so ReadRaw unblocks.
+	go func() {
+		select {
+		case <-stop:
+			bye, err := transport.AppendControl(nil, transport.KindBye, nil)
+			if err == nil {
+				s.writeMu.Lock()
+				conn.SetWriteDeadline(time.Now().Add(time.Second))
+				conn.Write(bye)
+				s.writeMu.Unlock()
+			}
+			conn.Close()
+		case <-hbStop:
+		}
+	}()
+
+	for {
+		// A gateway silent past three lease TTLs is gone; reconnect.
+		if leaseTTL > 0 {
+			conn.SetReadDeadline(time.Now().Add(3 * leaseTTL))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		kind, body, err := transport.ReadRaw(conn)
+		if err != nil {
+			return fmt.Errorf("gateway connection: %w", err)
+		}
+		switch kind {
+		case transport.KindBye:
+			return fmt.Errorf("gateway said goodbye")
+		case transport.KindHost:
+			v, err := transport.Unmarshal(body)
+			if err != nil {
+				return fmt.Errorf("decoding control frame: %w", err)
+			}
+			s.handle(v)
+		default:
+			// Skip unknown kinds for forward compatibility.
+		}
+	}
+}
+
+// handle dispatches one gateway message.
+func (s *agentSession) handle(v any) {
+	switch msg := v.(type) {
+	case Ping:
+		s.send(Pong{Nanos: msg.Nanos})
+	case Pong:
+		// Round trip complete; nothing to record.
+	case Assign:
+		s.handleAssign(msg)
+	case Cancel:
+		s.handleCancel(msg)
+	default:
+		s.agent.Logf("fabric agent %s: unexpected control message %T", s.agent.Name, v)
+	}
+}
+
+// handleAssign admits one leased job into the local service and spawns
+// the progress forwarder.
+func (s *agentSession) handleAssign(msg Assign) {
+	var spec service.JobSpec
+	if err := json.Unmarshal(msg.SpecJSON, &spec); err != nil {
+		s.send(Accept{Lease: msg.Lease, JobID: msg.JobID, Err: fmt.Sprintf("decoding spec: %v", err)})
+		return
+	}
+	st, err := s.agent.Svc.Submit(spec)
+	if err != nil {
+		s.send(Accept{Lease: msg.Lease, JobID: msg.JobID, Err: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	s.jobs[msg.Lease] = st.ID
+	s.mu.Unlock()
+	s.send(Accept{Lease: msg.Lease, JobID: msg.JobID, LocalID: st.ID})
+	go s.forward(msg.Lease, msg.JobID, st.ID)
+}
+
+// handleCancel cancels the local job behind a lease; the terminal
+// Done(canceled) flows back through the forwarder.
+func (s *agentSession) handleCancel(msg Cancel) {
+	s.mu.Lock()
+	localID, ok := s.jobs[msg.Lease]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.agent.Svc.Cancel(localID)
+}
+
+// forward streams the local job's progress to the gateway, then its
+// terminal result.
+func (s *agentSession) forward(lease uint64, jobID, localID string) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.jobs, lease)
+		s.mu.Unlock()
+	}()
+	ch, unsub, err := s.agent.Svc.Subscribe(localID)
+	if err != nil {
+		s.send(Done{Lease: lease, JobID: jobID, State: string(service.StateFailed),
+			Err: fmt.Sprintf("subscribing to local job: %v", err)})
+		return
+	}
+	defer unsub()
+	for p := range ch {
+		st, err := s.agent.Svc.Get(localID)
+		if err != nil {
+			break
+		}
+		pj, err := json.Marshal(p)
+		if err != nil {
+			continue
+		}
+		if err := s.send(Update{Lease: lease, JobID: jobID, State: string(st.State), ProgressJSON: pj}); err != nil {
+			return // connection gone; the gateway will re-route
+		}
+	}
+	st, err := s.agent.Svc.Get(localID)
+	if err != nil {
+		s.send(Done{Lease: lease, JobID: jobID, State: string(service.StateFailed),
+			Err: fmt.Sprintf("local job vanished: %v", err)})
+		return
+	}
+	switch st.State {
+	case service.StateDone:
+		res, err := s.agent.Svc.Result(localID)
+		if err != nil {
+			s.send(Done{Lease: lease, JobID: jobID, State: string(service.StateFailed),
+				Err: fmt.Sprintf("fetching local result: %v", err)})
+			return
+		}
+		rj, err := json.Marshal(res)
+		if err != nil {
+			s.send(Done{Lease: lease, JobID: jobID, State: string(service.StateFailed),
+				Err: fmt.Sprintf("encoding result: %v", err)})
+			return
+		}
+		s.send(Done{Lease: lease, JobID: jobID, State: string(service.StateDone), ResultJSON: rj})
+	case service.StateCanceled:
+		s.send(Done{Lease: lease, JobID: jobID, State: string(service.StateCanceled)})
+	default:
+		s.send(Done{Lease: lease, JobID: jobID, State: string(service.StateFailed), Err: st.Error})
+	}
+}
+
+// send writes one control frame; frames are serialized so concurrent
+// forwarders never interleave bytes.
+func (s *agentSession) send(payload any) error {
+	buf, err := encodeControl(payload)
+	if err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.closed {
+		return fmt.Errorf("session closed")
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	_, err = s.conn.Write(buf)
+	return err
+}
+
+// close tears the session down and cancels gateway-leased local jobs:
+// once the connection is gone the gateway re-routes them, so finishing
+// them here would only duplicate work.
+func (s *agentSession) close() {
+	s.writeMu.Lock()
+	s.closed = true
+	s.writeMu.Unlock()
+	s.conn.Close()
+	s.mu.Lock()
+	locals := make([]string, 0, len(s.jobs))
+	for _, id := range s.jobs {
+		locals = append(locals, id)
+	}
+	s.jobs = make(map[uint64]string)
+	s.mu.Unlock()
+	for _, id := range locals {
+		s.agent.Svc.Cancel(id)
+	}
+}

@@ -1,0 +1,64 @@
+package fabric
+
+import "container/list"
+
+// cacheEntry is one cached terminal result: the canonical spec key, the
+// result JSON exactly as the producing shard reported it, and which
+// gateway job produced it (for provenance in the fleet view).
+type cacheEntry struct {
+	key      string
+	result   []byte
+	producer string
+}
+
+// Cache is a bounded LRU over canonical spec keys. Simulated metrics
+// are deterministic functions of the canonical spec — that is the
+// two-clock rule — so a hit returns a byte-identical result to what a
+// fresh simulation would produce, and eviction is purely a capacity
+// decision, never a correctness one. Guarded by the gateway mutex.
+type Cache struct {
+	cap     int
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+}
+
+// NewCache returns an LRU holding at most capacity results.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, marking it recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores a result, evicting the least-recently-used entry beyond
+// capacity.
+func (c *Cache) Put(key string, result []byte, producer string) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = result
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: result, producer: producer})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int { return c.order.Len() }

@@ -1,0 +1,52 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k1", []byte("r1"), "j1")
+	got, ok := c.Get("k1")
+	if !ok || string(got) != "r1" {
+		t.Fatalf("Get(k1) = %q, %v; want r1, true", got, ok)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	for i := 1; i <= 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}, "")
+	}
+	// Touch k1 so k2 is the LRU when k4 arrives.
+	c.Get("k1")
+	c.Put("k4", []byte{4}, "")
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("k2 survived eviction though it was least recently used")
+	}
+	for _, k := range []string{"k1", "k3", "k4"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted; want it resident", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestCacheOverwrite(t *testing.T) {
+	c := NewCache(2)
+	c.Put("k", []byte("old"), "j1")
+	c.Put("k", []byte("new"), "j2")
+	got, _ := c.Get("k")
+	if string(got) != "new" {
+		t.Fatalf("Get after overwrite = %q, want new", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", c.Len())
+	}
+}

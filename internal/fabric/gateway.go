@@ -1,0 +1,956 @@
+package fabric
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/transport"
+)
+
+// Errors surfaced by the gateway API layer.
+var (
+	// ErrNotFound is returned for unknown gateway job IDs.
+	ErrNotFound = errors.New("fabric: no such job")
+	// ErrNotDone is returned by Result for jobs that have not completed.
+	ErrNotDone = errors.New("fabric: job has not completed")
+	// ErrShuttingDown is returned by Submit after Close begins.
+	ErrShuttingDown = errors.New("fabric: gateway shutting down")
+	// ErrTerminal is returned by Cancel for jobs already terminal.
+	ErrTerminal = errors.New("fabric: job already terminal")
+)
+
+// RejectedError is a 429-class admission refusal: the tenant's token
+// bucket is empty or the dispatch backlog is full. RetryAfter is the
+// hint every such response must carry.
+type RejectedError struct {
+	Tenant     string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("fabric: tenant %q rejected: %s (retry after %v)", e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// Options configures a Gateway.
+type Options struct {
+	// ControlAddr is the TCP address shards register on
+	// (default 127.0.0.1:0).
+	ControlAddr string
+	// LeaseTTL is how long a shard may stay silent before the gateway
+	// declares it dead and re-routes its leased jobs (default 10s).
+	LeaseTTL time.Duration
+	// Heartbeat is the ping interval advertised to shards
+	// (default LeaseTTL/4).
+	Heartbeat time.Duration
+	// MaxPending bounds jobs admitted but not yet leased; beyond it
+	// submissions are rejected 429 (default 1024).
+	MaxPending int
+	// CacheEntries bounds the result cache (default 4096).
+	CacheEntries int
+	// RouteRetries caps how many times one job may be re-routed after
+	// shard faults before it fails (default 8).
+	RouteRetries int
+	// TenantRate/TenantBurst are the default token-bucket parameters
+	// per tenant (defaults 50/s and 100).
+	TenantRate  float64
+	TenantBurst float64
+	// Tenants overrides admission policy per tenant name.
+	Tenants map[string]TenantConfig
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+	// Now substitutes a fake clock in tests (default time.Now).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.ControlAddr == "" {
+		o.ControlAddr = "127.0.0.1:0"
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.LeaseTTL / 4
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 1024
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 4096
+	}
+	if o.RouteRetries <= 0 {
+		o.RouteRetries = 8
+	}
+	if o.TenantRate <= 0 {
+		o.TenantRate = 50
+	}
+	if o.TenantBurst <= 0 {
+		o.TenantBurst = 100
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// GwJob is one job tracked by the gateway. Guarded by the gateway
+// mutex; external packages read Status snapshots.
+type GwJob struct {
+	ID      string
+	Tenant  string
+	Spec    service.JobSpec
+	Key     string // canonical cache key
+	created time.Time
+
+	specJSON  []byte
+	state     service.State
+	errMsg    string
+	cached    bool
+	coalesced bool
+	retries   int
+
+	// Lease bookkeeping: which shard holds the job under which lease,
+	// and the shard-local job ID (for Cancel).
+	lease   uint64
+	shard   *shardConn
+	localID string
+
+	finishTag float64 // WFQ virtual finish time
+	progress  json.RawMessage
+	result    json.RawMessage
+
+	// followers are identical in-flight submissions coalesced onto this
+	// job; they complete when it does.
+	followers []*GwJob
+}
+
+// GwStatus is the JSON form of a gateway job.
+type GwStatus struct {
+	ID        string          `json:"id"`
+	Tenant    string          `json:"tenant"`
+	Key       string          `json:"key"`
+	State     service.State   `json:"state"`
+	Error     string          `json:"error,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Shard     string          `json:"shard,omitempty"`
+	Retries   int             `json:"retries,omitempty"`
+	Created   time.Time       `json:"created"`
+	Spec      service.JobSpec `json:"spec"`
+	Progress  json.RawMessage `json:"progress,omitempty"`
+}
+
+// ShardStatus is one row of the fleet view.
+type ShardStatus struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	HTTPAddr string `json:"http_addr,omitempty"`
+	Capacity int    `json:"capacity"`
+	Leases   int    `json:"leases"`
+	Routed   int64  `json:"routed_total"`
+}
+
+// shardConn is one registered shard's control-plane session.
+type shardConn struct {
+	id       int
+	name     string
+	httpAddr string
+	capacity int
+	conn     net.Conn
+	sendq    chan []byte
+	leases   map[uint64]*GwJob
+	lastSeen atomic.Int64 // unix nanos of last inbound frame
+	failed   atomic.Bool
+}
+
+// Gateway routes jobs across registered shards. Construct with
+// NewGateway, stop with Close.
+type Gateway struct {
+	opt     Options
+	ln      net.Listener
+	metrics *Metrics
+
+	mu       sync.Mutex
+	shards   map[int]*shardConn
+	ring     *Ring
+	jobs     map[string]*GwJob
+	order    []string
+	tenants  map[string]*tenant
+	inflight map[string]*GwJob // cache key → live leader job
+	cache    *Cache
+	pending  int
+	vtime    float64
+
+	nextShard int
+	nextLease atomic.Uint64
+
+	stopping chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewGateway opens the control listener and starts the lease watchdog.
+func NewGateway(opt Options) (*Gateway, error) {
+	opt = opt.withDefaults()
+	ln, err := net.Listen("tcp", opt.ControlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: gateway listen %s: %w", opt.ControlAddr, err)
+	}
+	g := &Gateway{
+		opt:      opt,
+		ln:       ln,
+		metrics:  NewMetrics(opt.Now()),
+		shards:   make(map[int]*shardConn),
+		ring:     NewRing(nil),
+		jobs:     make(map[string]*GwJob),
+		tenants:  make(map[string]*tenant),
+		inflight: make(map[string]*GwJob),
+		cache:    NewCache(opt.CacheEntries),
+		stopping: make(chan struct{}),
+	}
+	g.wg.Add(2)
+	go g.acceptLoop()
+	go g.watchdog()
+	return g, nil
+}
+
+// ControlAddr returns the address shards register on.
+func (g *Gateway) ControlAddr() string { return g.ln.Addr().String() }
+
+// Metrics exposes the gateway counters.
+func (g *Gateway) Metrics() *Metrics { return g.metrics }
+
+// Close stops the control plane: no new registrations, a graceful Bye
+// to every shard, and the watchdog stopped. In-flight gateway jobs are
+// left as-is (shards keep running them; nothing is awaiting results).
+func (g *Gateway) Close() error {
+	g.stopOnce.Do(func() { close(g.stopping) })
+	g.ln.Close()
+	g.mu.Lock()
+	conns := make([]*shardConn, 0, len(g.shards))
+	for _, sc := range g.shards {
+		conns = append(conns, sc)
+	}
+	g.mu.Unlock()
+	bye, _ := transport.AppendControl(nil, transport.KindBye, nil)
+	for _, sc := range conns {
+		sc.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		sc.conn.Write(bye)
+		sc.conn.Close()
+	}
+	g.wg.Wait()
+	return nil
+}
+
+// acceptLoop admits shard registrations until Close.
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		c, err := g.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		g.wg.Add(1)
+		go func(c net.Conn) {
+			defer g.wg.Done()
+			g.serveShard(c)
+		}(c)
+	}
+}
+
+// serveShard runs one shard session: Hello handshake, then the control
+// pump until the connection dies.
+func (g *Gateway) serveShard(c net.Conn) {
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	kind, body, err := transport.ReadRaw(c)
+	if err != nil || kind != transport.KindHost {
+		c.Close()
+		return
+	}
+	v, err := transport.Unmarshal(body)
+	hello, ok := v.(Hello)
+	if err != nil || !ok {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+
+	sc := &shardConn{
+		name:     hello.Name,
+		httpAddr: hello.HTTPAddr,
+		capacity: int(hello.Capacity),
+		conn:     c,
+		sendq:    make(chan []byte, 1024),
+		leases:   make(map[uint64]*GwJob),
+	}
+	if sc.capacity < 1 {
+		sc.capacity = 1
+	}
+	sc.lastSeen.Store(time.Now().UnixNano())
+
+	g.mu.Lock()
+	// A reconnecting shard replaces its old session: the stale session
+	// is failed first so its leases re-route (possibly right back to
+	// the fresh session).
+	var stale *shardConn
+	for _, prev := range g.shards {
+		if prev.name == sc.name {
+			stale = prev
+			break
+		}
+	}
+	g.mu.Unlock()
+	if stale != nil {
+		g.shardFailed(stale, &transport.TransportError{Kind: transport.FaultPeerLost, Proc: stale.id,
+			Err: fmt.Errorf("shard %s re-registered; replacing stale session", sc.name)})
+	}
+
+	g.mu.Lock()
+	sc.id = g.nextShard
+	g.nextShard++
+	g.shards[sc.id] = sc
+	g.rebuildRingLocked()
+	g.metrics.Shards.Store(int64(len(g.shards)))
+	welcome := Welcome{
+		ShardID:         int32(sc.id),
+		LeaseTTLMillis:  g.opt.LeaseTTL.Milliseconds(),
+		HeartbeatMillis: g.opt.Heartbeat.Milliseconds(),
+	}
+	g.mu.Unlock()
+	g.opt.Logf("nbodygw: shard %d (%s) registered, capacity %d", sc.id, sc.name, sc.capacity)
+
+	// Writer drains the send queue; a write error fails the shard.
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		for {
+			select {
+			case buf, ok := <-sc.sendq:
+				if !ok {
+					return
+				}
+				if _, err := sc.conn.Write(buf); err != nil {
+					g.shardFailed(sc, &transport.TransportError{Kind: transport.FaultPeerLost, Proc: sc.id,
+						Err: fmt.Errorf("write to shard %s: %w", sc.name, err)})
+					return
+				}
+			case <-g.stopping:
+				return
+			}
+		}
+	}()
+	if !g.send(sc, welcome) {
+		return
+	}
+	// New capacity may unblock pending work.
+	g.mu.Lock()
+	g.dispatchLocked()
+	g.mu.Unlock()
+
+	for {
+		kind, body, err := transport.ReadRaw(c)
+		if err != nil {
+			g.shardFailed(sc, &transport.TransportError{Kind: transport.FaultPeerLost, Proc: sc.id,
+				Err: fmt.Errorf("read from shard %s: %w", sc.name, err)})
+			return
+		}
+		sc.lastSeen.Store(time.Now().UnixNano())
+		switch kind {
+		case transport.KindBye:
+			g.shardFailed(sc, &transport.TransportError{Kind: transport.FaultClosed, Proc: sc.id,
+				Err: fmt.Errorf("shard %s closed gracefully", sc.name)})
+			return
+		case transport.KindHost:
+			v, err := transport.Unmarshal(body)
+			if err != nil {
+				g.shardFailed(sc, &transport.TransportError{Kind: transport.FaultCorrupt, Proc: sc.id,
+					Err: fmt.Errorf("bad control frame from shard %s: %w", sc.name, err)})
+				return
+			}
+			g.handleControl(sc, v)
+		default:
+			// Unknown kinds are skipped for forward compatibility.
+		}
+	}
+}
+
+// send enqueues one control message to a shard without blocking the
+// caller; a full queue means the shard has stalled and is failed.
+func (g *Gateway) send(sc *shardConn, payload any) bool {
+	buf, err := encodeControl(payload)
+	if err != nil {
+		g.opt.Logf("nbodygw: encoding control message for shard %s: %v", sc.name, err)
+		return false
+	}
+	select {
+	case sc.sendq <- buf:
+		return true
+	default:
+		g.shardFailed(sc, &transport.TransportError{Kind: transport.FaultStall, Proc: sc.id,
+			Err: fmt.Errorf("shard %s send queue full", sc.name)})
+		return false
+	}
+}
+
+// handleControl dispatches one inbound shard message.
+func (g *Gateway) handleControl(sc *shardConn, v any) {
+	switch msg := v.(type) {
+	case Ping:
+		g.send(sc, Pong{Nanos: msg.Nanos})
+	case Pong:
+		// Traffic already renewed the lease via lastSeen.
+	case Accept:
+		g.handleAccept(sc, msg)
+	case Update:
+		g.handleUpdate(sc, msg)
+	case Done:
+		g.handleDone(sc, msg)
+	default:
+		g.opt.Logf("nbodygw: unexpected control message %T from shard %s", v, sc.name)
+	}
+}
+
+// handleAccept records the shard's admission verdict. A refusal
+// re-queues the job: the gateway respects shard capacity, so a refusal
+// means the shard is unhealthy or misconfigured, which routing treats
+// like a fault.
+func (g *Gateway) handleAccept(sc *shardConn, msg Accept) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j := sc.leases[msg.Lease]
+	if j == nil || j.lease != msg.Lease {
+		return // stale: the job was re-routed already
+	}
+	if msg.Err == "" {
+		j.localID = msg.LocalID
+		return
+	}
+	g.opt.Logf("nbodygw: shard %s refused job %s: %s", sc.name, j.ID, msg.Err)
+	g.requeueLocked(j, "admission")
+	g.dispatchLocked()
+}
+
+// handleUpdate forwards a progress snapshot onto the gateway job.
+func (g *Gateway) handleUpdate(sc *shardConn, msg Update) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j := sc.leases[msg.Lease]
+	if j == nil || j.lease != msg.Lease {
+		return
+	}
+	if s := service.State(msg.State); s == service.StateQueued || s == service.StateRunning {
+		j.state = s
+	}
+	j.progress = append(json.RawMessage(nil), msg.ProgressJSON...)
+	for _, f := range j.followers {
+		f.state = j.state
+		f.progress = j.progress
+	}
+}
+
+// handleDone finalizes a leased job: cache the result, complete the
+// leader and every coalesced follower, release the lease.
+func (g *Gateway) handleDone(sc *shardConn, msg Done) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j := sc.leases[msg.Lease]
+	if j == nil || j.lease != msg.Lease {
+		return
+	}
+	delete(sc.leases, msg.Lease)
+	g.metrics.JobsLeased.Add(-1)
+	delete(g.inflight, j.Key)
+	j.lease, j.shard = 0, nil
+
+	state := service.State(msg.State)
+	switch state {
+	case service.StateDone:
+		res := append(json.RawMessage(nil), msg.ResultJSON...)
+		g.cache.Put(j.Key, res, j.ID)
+		g.finishLocked(j, service.StateDone, res, "")
+	case service.StateCanceled:
+		g.finishLocked(j, service.StateCanceled, nil, "")
+	default:
+		g.finishLocked(j, service.StateFailed, nil, msg.Err)
+	}
+	g.dispatchLocked()
+}
+
+// finishLocked moves a job and its followers to a terminal state.
+func (g *Gateway) finishLocked(j *GwJob, state service.State, result json.RawMessage, errMsg string) {
+	all := append([]*GwJob{j}, j.followers...)
+	j.followers = nil
+	for _, job := range all {
+		if job.state.Terminal() {
+			continue
+		}
+		job.state = state
+		job.result = result
+		job.errMsg = errMsg
+		switch state {
+		case service.StateDone:
+			g.metrics.JobsDone.Add(1)
+		case service.StateCanceled:
+			g.metrics.JobsCanceled.Add(1)
+		default:
+			g.metrics.JobsFailed.Add(1)
+		}
+	}
+}
+
+// requeueLocked puts a leased (or about-to-be-leased) job back at the
+// front of its tenant's backlog after a routing failure, preserving its
+// WFQ tag. Beyond the route-retry budget the job fails instead.
+func (g *Gateway) requeueLocked(j *GwJob, fault string) {
+	if j.shard != nil {
+		delete(j.shard.leases, j.lease)
+		g.metrics.JobsLeased.Add(-1)
+	}
+	j.lease, j.shard, j.localID = 0, nil, ""
+	j.retries++
+	g.metrics.Rerouted.Add(fault, 1)
+	if j.retries > g.opt.RouteRetries {
+		delete(g.inflight, j.Key)
+		g.finishLocked(j, service.StateFailed,
+			nil, fmt.Sprintf("re-routed %d times without completing (last fault: %s)", j.retries, fault))
+		return
+	}
+	j.state = service.StateQueued
+	j.progress = nil
+	g.tenantFor(j.Tenant).requeueFront(j)
+	g.pending++
+	g.metrics.JobsPending.Add(1)
+}
+
+// shardFailed removes a shard from the fleet and re-routes every job it
+// held a lease on. The fault kind — the same taxonomy the cluster
+// supervisor keys on — is what the re-route metric records. Idempotent
+// per session.
+func (g *Gateway) shardFailed(sc *shardConn, terr *transport.TransportError) {
+	if !sc.failed.CompareAndSwap(false, true) {
+		return
+	}
+	sc.conn.Close()
+	g.mu.Lock()
+	delete(g.shards, sc.id)
+	g.rebuildRingLocked()
+	g.metrics.Shards.Store(int64(len(g.shards)))
+	orphans := make([]*GwJob, 0, len(sc.leases))
+	for _, j := range sc.leases {
+		orphans = append(orphans, j)
+	}
+	// Deterministic re-queue order: oldest lease first.
+	sort.Slice(orphans, func(i, k int) bool { return orphans[i].lease < orphans[k].lease })
+	for i := len(orphans) - 1; i >= 0; i-- { // requeueFront reverses: push newest first
+		j := orphans[i]
+		delete(sc.leases, j.lease)
+		g.metrics.JobsLeased.Add(-1)
+		j.shard = nil
+		g.requeueLocked(j, terr.Kind.String())
+	}
+	g.dispatchLocked()
+	g.mu.Unlock()
+	select {
+	case <-g.stopping:
+	default:
+		g.opt.Logf("nbodygw: shard %d (%s) lost (%s): %d job(s) re-routed",
+			sc.id, sc.name, terr.Kind, len(orphans))
+	}
+}
+
+// rebuildRingLocked recomputes the hash ring from the live shard set.
+func (g *Gateway) rebuildRingLocked() {
+	names := make(map[int]string, len(g.shards))
+	for id, sc := range g.shards {
+		names[id] = sc.name
+	}
+	g.ring = NewRing(names)
+}
+
+// watchdog expires leases: a shard silent past the TTL is declared dead
+// with a heartbeat fault, exactly as the transport layer classifies a
+// silent peer.
+func (g *Gateway) watchdog() {
+	defer g.wg.Done()
+	tick := g.opt.LeaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stopping:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		g.mu.Lock()
+		var expired []*shardConn
+		for _, sc := range g.shards {
+			if now.Sub(time.Unix(0, sc.lastSeen.Load())) > g.opt.LeaseTTL {
+				expired = append(expired, sc)
+			}
+		}
+		g.mu.Unlock()
+		for _, sc := range expired {
+			idle := now.Sub(time.Unix(0, sc.lastSeen.Load())).Round(time.Millisecond)
+			g.shardFailed(sc, &transport.TransportError{Kind: transport.FaultHeartbeat, Proc: sc.id,
+				Err: fmt.Errorf("shard %s silent for %v (lease TTL %v)", sc.name, idle, g.opt.LeaseTTL)})
+		}
+	}
+}
+
+// tenantFor returns (creating if needed) the tenant record.
+func (g *Gateway) tenantFor(name string) *tenant {
+	if t, ok := g.tenants[name]; ok {
+		return t
+	}
+	cfg := g.opt.Tenants[name]
+	if cfg.Rate <= 0 {
+		cfg.Rate = g.opt.TenantRate
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = g.opt.TenantBurst
+	}
+	if cfg.Weight <= 0 {
+		cfg.Weight = 1
+	}
+	t := &tenant{
+		name:   name,
+		weight: cfg.Weight,
+		bucket: NewTokenBucket(cfg.Rate, cfg.Burst, g.opt.Now()),
+	}
+	g.tenants[name] = t
+	return t
+}
+
+// Submit admits one job for a tenant: quota, cache, coalescing,
+// backlog bound, then the WFQ queue. It returns the job's status
+// snapshot; a *RejectedError carries the Retry-After hint.
+func (g *Gateway) Submit(tenantName string, spec service.JobSpec) (GwStatus, error) {
+	select {
+	case <-g.stopping:
+		return GwStatus{}, ErrShuttingDown
+	default:
+	}
+	if tenantName == "" {
+		tenantName = "default"
+	}
+	if err := spec.Validate(); err != nil {
+		g.metrics.JobsInvalid.Add(1)
+		return GwStatus{}, fmt.Errorf("invalid job: %w", err)
+	}
+	if spec.Transport != "" && spec.Transport != "inproc" {
+		// Shards run their jobs locally; a tcp job would need the
+		// shard's own cluster, which the fabric does not orchestrate.
+		g.metrics.JobsInvalid.Add(1)
+		return GwStatus{}, fmt.Errorf("invalid job: transport %q cannot be routed through the gateway (shards run jobs in-process)", spec.Transport)
+	}
+	now := g.opt.Now()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	t := g.tenantFor(tenantName)
+	if !t.bucket.Take(now) {
+		g.metrics.JobsRejected.Add(1)
+		g.metrics.Rejected.Add(tenantName, 1)
+		return GwStatus{}, &RejectedError{
+			Tenant:     tenantName,
+			Reason:     "quota exhausted",
+			RetryAfter: t.bucket.RetryAfter(now),
+		}
+	}
+
+	key := spec.CacheKey()
+	j := &GwJob{
+		ID:      g.newJobID(),
+		Tenant:  tenantName,
+		Spec:    spec,
+		Key:     key,
+		created: now,
+		state:   service.StateQueued,
+	}
+
+	// Cache hit: the canonical spec already ran somewhere; serve the
+	// byte-identical result without spending any shard capacity.
+	if res, ok := g.cache.Get(key); ok {
+		j.cached = true
+		j.state = service.StateDone
+		j.result = res
+		g.registerLocked(j)
+		g.metrics.CacheHits.Add(1)
+		g.metrics.JobsDone.Add(1)
+		g.metrics.Admitted.Add(tenantName, 1)
+		return g.statusLocked(j), nil
+	}
+
+	// In-flight coalescing: an identical job is already pending or
+	// running; this submission rides along and completes with it.
+	if leader, ok := g.inflight[key]; ok && !leader.state.Terminal() {
+		j.coalesced = true
+		j.state = leader.state
+		j.progress = leader.progress
+		leader.followers = append(leader.followers, j)
+		g.registerLocked(j)
+		g.metrics.Coalesced.Add(1)
+		g.metrics.Admitted.Add(tenantName, 1)
+		return g.statusLocked(j), nil
+	}
+
+	if g.pending >= g.opt.MaxPending {
+		g.metrics.JobsRejected.Add(1)
+		g.metrics.Rejected.Add(tenantName, 1)
+		return GwStatus{}, &RejectedError{Tenant: tenantName, Reason: "dispatch backlog full", RetryAfter: time.Second}
+	}
+
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		g.metrics.JobsInvalid.Add(1)
+		return GwStatus{}, fmt.Errorf("fabric: encoding spec: %w", err)
+	}
+	j.specJSON = specJSON
+	g.registerLocked(j)
+	g.inflight[key] = j
+	t.tagJob(j, g.vtime)
+	g.pending++
+	g.metrics.JobsPending.Add(1)
+	g.metrics.Admitted.Add(tenantName, 1)
+	g.dispatchLocked()
+	return g.statusLocked(j), nil
+}
+
+// registerLocked indexes a new job.
+func (g *Gateway) registerLocked(j *GwJob) {
+	g.jobs[j.ID] = j
+	g.order = append(g.order, j.ID)
+	g.metrics.JobsSubmitted.Add(1)
+}
+
+// dispatchLocked drains the WFQ backlog onto shards with free lease
+// slots: pick the globally smallest finish tag, route it to the first
+// shard in its key's ring order with capacity, repeat until no job can
+// be placed. Consistent hashing names the preferred shard; capacity
+// spill walks the ring so one hot key range cannot head-of-line-block
+// the fleet.
+func (g *Gateway) dispatchLocked() {
+	for {
+		var best *tenant
+		for _, t := range g.tenants {
+			if len(t.queue) == 0 {
+				continue
+			}
+			if best == nil || t.queue[0].finishTag < best.queue[0].finishTag {
+				best = t
+			}
+		}
+		if best == nil {
+			return
+		}
+		j := best.queue[0]
+		if j.state.Terminal() {
+			// Canceled or failed while queued: drop it from the backlog.
+			best.queue = best.queue[1:]
+			g.pending--
+			g.metrics.JobsPending.Add(-1)
+			continue
+		}
+		sc := g.routeLocked(j.Key)
+		if sc == nil {
+			return // no shard has a free lease slot (or fleet is empty)
+		}
+		best.queue = best.queue[1:]
+		g.pending--
+		g.metrics.JobsPending.Add(-1)
+		if j.finishTag > g.vtime {
+			g.vtime = j.finishTag
+		}
+
+		lease := g.nextLease.Add(1)
+		j.lease = lease
+		j.shard = sc
+		sc.leases[lease] = j
+		g.metrics.JobsLeased.Add(1)
+		g.metrics.Routed.Add(sc.name, 1)
+		g.metrics.RouteSeconds.Observe(g.opt.Now().Sub(j.created).Seconds())
+		g.send(sc, Assign{Lease: lease, JobID: j.ID, SpecJSON: j.specJSON})
+	}
+}
+
+// routeLocked picks the shard for a key: its ring owner if that shard
+// has a free lease slot, else the next successors in ring order.
+func (g *Gateway) routeLocked(key string) *shardConn {
+	for _, id := range g.ring.Successors(hashKey(key), len(g.shards)) {
+		sc := g.shards[id]
+		if sc != nil && len(sc.leases) < sc.capacity {
+			return sc
+		}
+	}
+	return nil
+}
+
+// Get returns one gateway job's status.
+func (g *Gateway) Get(id string) (GwStatus, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	if !ok {
+		return GwStatus{}, ErrNotFound
+	}
+	return g.statusLocked(j), nil
+}
+
+// Jobs lists gateway jobs in submission order.
+func (g *Gateway) Jobs() []GwStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]GwStatus, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.statusLocked(g.jobs[id]))
+	}
+	return out
+}
+
+// Result returns the result JSON of a completed gateway job.
+func (g *Gateway) Result(id string) (json.RawMessage, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.state != service.StateDone || j.result == nil {
+		return nil, ErrNotDone
+	}
+	return j.result, nil
+}
+
+// Cancel cancels a pending or leased gateway job. A leased leader with
+// followers keeps its shard job running — the followers still want the
+// result — and only the caller's job is detached.
+func (g *Gateway) Cancel(id string) (GwStatus, error) {
+	g.mu.Lock()
+	j, ok := g.jobs[id]
+	if !ok {
+		g.mu.Unlock()
+		return GwStatus{}, ErrNotFound
+	}
+	if j.state.Terminal() {
+		st := g.statusLocked(j)
+		g.mu.Unlock()
+		return st, ErrTerminal
+	}
+	var notify *shardConn
+	var cancelMsg Cancel
+	switch {
+	case j.coalesced:
+		// Detach from the leader; the leader keeps running.
+		if leader, ok := g.inflight[j.Key]; ok {
+			for i, f := range leader.followers {
+				if f == j {
+					leader.followers = append(leader.followers[:i], leader.followers[i+1:]...)
+					break
+				}
+			}
+		}
+		j.state = service.StateCanceled
+		g.metrics.JobsCanceled.Add(1)
+	case j.shard != nil:
+		if len(j.followers) > 0 {
+			// Promote the first follower to leader so the shard job's
+			// eventual result still lands somewhere.
+			leader := j.followers[0]
+			leader.followers = append(leader.followers, j.followers[1:]...)
+			leader.coalesced = false
+			leader.lease, leader.shard, leader.localID = j.lease, j.shard, j.localID
+			leader.specJSON = j.specJSON
+			j.shard.leases[j.lease] = leader
+			g.inflight[j.Key] = leader
+			j.followers = nil
+			j.lease, j.shard = 0, nil
+			j.state = service.StateCanceled
+			g.metrics.JobsCanceled.Add(1)
+		} else {
+			notify = j.shard
+			cancelMsg = Cancel{Lease: j.lease, JobID: j.ID}
+			// Terminal state arrives via Done(canceled) from the shard.
+		}
+	default:
+		// Pending: mark terminal; dispatchLocked drops it from the queue.
+		delete(g.inflight, j.Key)
+		g.finishLocked(j, service.StateCanceled, nil, "")
+	}
+	st := g.statusLocked(j)
+	g.mu.Unlock()
+	if notify != nil {
+		g.send(notify, cancelMsg)
+	}
+	return st, nil
+}
+
+// Shards returns the fleet view sorted by shard ID.
+func (g *Gateway) Shards() []ShardStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ShardStatus, 0, len(g.shards))
+	for _, sc := range g.shards {
+		out = append(out, ShardStatus{
+			ID:       sc.id,
+			Name:     sc.name,
+			HTTPAddr: sc.httpAddr,
+			Capacity: sc.capacity,
+			Leases:   len(sc.leases),
+			Routed:   g.metrics.Routed.Get(sc.name),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (g *Gateway) statusLocked(j *GwJob) GwStatus {
+	st := GwStatus{
+		ID:        j.ID,
+		Tenant:    j.Tenant,
+		Key:       j.Key,
+		State:     j.state,
+		Error:     j.errMsg,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Retries:   j.retries,
+		Created:   j.created,
+		Spec:      j.Spec,
+		Progress:  j.progress,
+	}
+	if j.shard != nil {
+		st.Shard = j.shard.name
+	}
+	return st
+}
+
+// newJobID mints a gateway job ID ("g" prefix so fleet and shard IDs
+// never collide in logs).
+func (g *Gateway) newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		v := uint64(g.opt.Now().UnixNano())*0x9E3779B97F4A7C15 + g.nextLease.Add(1)
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+	}
+	return "g" + hex.EncodeToString(b[:])
+}

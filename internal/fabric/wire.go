@@ -1,0 +1,194 @@
+// Package fabric turns one nbodyd into a fleet: a gateway/router that
+// consistent-hashes submitted jobs across N shard daemons, with
+// heartbeat-leased work assignment instead of static addressing,
+// per-tenant admission control (token-bucket quotas + weighted fair
+// queueing) ahead of each shard's bounded queue, and a deterministic
+// result cache keyed by the canonical (scenario, seed, params) hash so
+// identical requests from a million users cost one simulation.
+//
+// The control plane rides the transport wire layer: every message is a
+// registered codec type inside a transport host frame, and every
+// failure surfaces as a transport.TransportError whose FaultKind drives
+// the gateway's re-routing policy — a dead shard's leased jobs are
+// re-queued and re-routed exactly the way the cluster supervisor
+// retries a faulted machine generation.
+//
+// The two-clock rule holds end to end: routing, leasing, and caching
+// are host-clock machinery. A job's simulated metrics are bit-identical
+// whether it runs directly on one shard, is routed through the gateway,
+// is re-routed after a shard death, or is served from the cache —
+// that identity is what makes the cache correct by construction.
+package fabric
+
+import (
+	"repro/internal/transport"
+)
+
+// Fabric control-plane wire IDs live in the 61–80 block of the codec
+// registry (see the block map in transport/codec.go). They are fixed,
+// process-independent, and must never be reused for a different
+// encoding.
+const (
+	idHello   uint16 = 61
+	idWelcome uint16 = 62
+	idAssign  uint16 = 63
+	idAccept  uint16 = 64
+	idUpdate  uint16 = 65
+	idDone    uint16 = 66
+	idPing    uint16 = 67
+	idPong    uint16 = 68
+	idCancel  uint16 = 69
+)
+
+// Hello is a shard's registration: its human name, the HTTP address its
+// own API listens on (advertised to clients via the gateway's fleet
+// view), and how many concurrent leases it will accept — the gateway
+// never queues more work on a shard than the shard asked for, so the
+// shard's own bounded admission queue cannot overflow from fabric
+// traffic.
+type Hello struct {
+	Name     string
+	HTTPAddr string
+	Capacity int32
+}
+
+// Welcome completes a registration: the shard's fleet ID plus the lease
+// discipline — the shard must make traffic (pings, updates) at least
+// every HeartbeatMillis, and the gateway declares it dead after
+// LeaseTTLMillis of silence.
+type Welcome struct {
+	ShardID         int32
+	LeaseTTLMillis  int64
+	HeartbeatMillis int64
+}
+
+// Assign leases one job to a shard. SpecJSON is the canonicalized
+// service.JobSpec; the shard re-validates it on its own admission path.
+type Assign struct {
+	Lease    uint64
+	JobID    string
+	SpecJSON []byte
+}
+
+// Accept is the shard's admission verdict for an Assign: the local job
+// ID it minted, or the admission error (queue full, invalid spec).
+type Accept struct {
+	Lease   uint64
+	JobID   string
+	LocalID string
+	Err     string
+}
+
+// Update is a progress snapshot for a leased job; ProgressJSON is the
+// shard's service.Progress. Updates double as lease renewals.
+type Update struct {
+	Lease        uint64
+	JobID        string
+	State        string
+	ProgressJSON []byte
+}
+
+// Done is the terminal report for a leased job. ResultJSON is the
+// shard's service.Result for state "done"; Err carries the failure
+// otherwise.
+type Done struct {
+	Lease      uint64
+	JobID      string
+	State      string
+	Err        string
+	ResultJSON []byte
+}
+
+// Ping renews every lease its sender holds; Pong echoes the timestamp
+// back so the shard can observe gateway RTT.
+type Ping struct{ Nanos int64 }
+type Pong struct{ Nanos int64 }
+
+// Cancel asks a shard to cancel a leased job.
+type Cancel struct {
+	Lease uint64
+	JobID string
+}
+
+func init() {
+	transport.Register(idHello,
+		func(w *transport.Writer, v Hello) {
+			w.Str(v.Name)
+			w.Str(v.HTTPAddr)
+			w.I32(v.Capacity)
+		},
+		func(r *transport.Reader) (Hello, error) {
+			return Hello{Name: r.Str(), HTTPAddr: r.Str(), Capacity: r.I32()}, r.Err()
+		})
+	transport.Register(idWelcome,
+		func(w *transport.Writer, v Welcome) {
+			w.I32(v.ShardID)
+			w.I64(v.LeaseTTLMillis)
+			w.I64(v.HeartbeatMillis)
+		},
+		func(r *transport.Reader) (Welcome, error) {
+			return Welcome{ShardID: r.I32(), LeaseTTLMillis: r.I64(), HeartbeatMillis: r.I64()}, r.Err()
+		})
+	transport.Register(idAssign,
+		func(w *transport.Writer, v Assign) {
+			w.U64(v.Lease)
+			w.Str(v.JobID)
+			w.Raw(v.SpecJSON)
+		},
+		func(r *transport.Reader) (Assign, error) {
+			return Assign{Lease: r.U64(), JobID: r.Str(), SpecJSON: r.Raw()}, r.Err()
+		})
+	transport.Register(idAccept,
+		func(w *transport.Writer, v Accept) {
+			w.U64(v.Lease)
+			w.Str(v.JobID)
+			w.Str(v.LocalID)
+			w.Str(v.Err)
+		},
+		func(r *transport.Reader) (Accept, error) {
+			return Accept{Lease: r.U64(), JobID: r.Str(), LocalID: r.Str(), Err: r.Str()}, r.Err()
+		})
+	transport.Register(idUpdate,
+		func(w *transport.Writer, v Update) {
+			w.U64(v.Lease)
+			w.Str(v.JobID)
+			w.Str(v.State)
+			w.Raw(v.ProgressJSON)
+		},
+		func(r *transport.Reader) (Update, error) {
+			return Update{Lease: r.U64(), JobID: r.Str(), State: r.Str(), ProgressJSON: r.Raw()}, r.Err()
+		})
+	transport.Register(idDone,
+		func(w *transport.Writer, v Done) {
+			w.U64(v.Lease)
+			w.Str(v.JobID)
+			w.Str(v.State)
+			w.Str(v.Err)
+			w.Raw(v.ResultJSON)
+		},
+		func(r *transport.Reader) (Done, error) {
+			return Done{Lease: r.U64(), JobID: r.Str(), State: r.Str(), Err: r.Str(), ResultJSON: r.Raw()}, r.Err()
+		})
+	transport.Register(idPing,
+		func(w *transport.Writer, v Ping) { w.I64(v.Nanos) },
+		func(r *transport.Reader) (Ping, error) { return Ping{Nanos: r.I64()}, r.Err() })
+	transport.Register(idPong,
+		func(w *transport.Writer, v Pong) { w.I64(v.Nanos) },
+		func(r *transport.Reader) (Pong, error) { return Pong{Nanos: r.I64()}, r.Err() })
+	transport.Register(idCancel,
+		func(w *transport.Writer, v Cancel) {
+			w.U64(v.Lease)
+			w.Str(v.JobID)
+		},
+		func(r *transport.Reader) (Cancel, error) {
+			return Cancel{Lease: r.U64(), JobID: r.Str()}, r.Err()
+		})
+}
+
+// encodeControl frames one fabric control message: a transport host
+// frame whose body is the registered payload. Fabric connections carry
+// only these frames (plus Bye), so the host-frame kind unambiguously
+// means "fabric control" here.
+func encodeControl(payload any) ([]byte, error) {
+	return transport.AppendControl(nil, transport.KindHost, payload)
+}

@@ -1,0 +1,111 @@
+package service
+
+import "testing"
+
+// Field order in JSON, explicit defaults, and enum casing are all
+// spelling, not physics: they must map to the same cache key.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	base := JobSpec{Dist: "uniform", N: 96, Seed: 3, Processors: 2,
+		Scheme: "spsa", Machine: "ideal", Steps: 5, Eps: 0.05}
+	key := base.CacheKey()
+
+	t.Run("defaults vs explicit", func(t *testing.T) {
+		explicit := base
+		explicit.Mode = "force"
+		explicit.Alpha = 0.67
+		explicit.DT = 0.01
+		explicit.GridLog2 = 3
+		explicit.BinSize = 100
+		explicit.Integrator = "leapfrog"
+		explicit.Shipping = "function"
+		explicit.Transport = "inproc"
+		if got := explicit.CacheKey(); got != key {
+			t.Errorf("explicit defaults changed the key:\n base %s\n expl %s", key, got)
+		}
+	})
+
+	t.Run("enum casing", func(t *testing.T) {
+		shouty := base
+		shouty.Scheme = "SPSA"
+		shouty.Machine = "Ideal"
+		shouty.Dist = "UNIFORM"
+		if got := shouty.CacheKey(); got != key {
+			t.Errorf("enum casing changed the key:\n base  %s\n upper %s", key, got)
+		}
+	})
+
+	t.Run("host-only fields", func(t *testing.T) {
+		labeled := base
+		labeled.Name = "friday night run"
+		labeled.Trace = true
+		labeled.CheckpointEvery = 2
+		if got := labeled.CacheKey(); got != key {
+			t.Errorf("host-only fields changed the key:\n base    %s\n labeled %s", key, got)
+		}
+	})
+
+	t.Run("degree irrelevant in force mode", func(t *testing.T) {
+		d := base
+		d.Degree = 7 // monopole-only force mode never reads it
+		if got := d.CacheKey(); got != key {
+			t.Errorf("force-mode degree changed the key")
+		}
+	})
+
+	t.Run("validate not mutating", func(t *testing.T) {
+		fresh := JobSpec{Dist: "uniform", N: 96, Seed: 3, Processors: 2,
+			Scheme: "spsa", Machine: "ideal", Steps: 5, Eps: 0.05}
+		_ = fresh.CacheKey()
+		if fresh.Mode != "" || fresh.Integrator != "" {
+			t.Errorf("CacheKey mutated its receiver: %+v", fresh)
+		}
+	})
+}
+
+// Any physics-affecting change must change the key.
+func TestCacheKeyDistinguishesPhysics(t *testing.T) {
+	base := JobSpec{Dist: "uniform", N: 96, Seed: 3, Processors: 2,
+		Scheme: "spsa", Machine: "ideal", Steps: 5, Eps: 0.05}
+	key := base.CacheKey()
+
+	mutations := map[string]func(*JobSpec){
+		"seed":       func(s *JobSpec) { s.Seed = 4 },
+		"n":          func(s *JobSpec) { s.N = 97 },
+		"steps":      func(s *JobSpec) { s.Steps = 6 },
+		"dist":       func(s *JobSpec) { s.Dist = "plummer" },
+		"scheme":     func(s *JobSpec) { s.Scheme = "spda" },
+		"machine":    func(s *JobSpec) { s.Machine = "cm5" },
+		"processors": func(s *JobSpec) { s.Processors = 4 },
+		"alpha":      func(s *JobSpec) { s.Alpha = 0.5 },
+		"eps":        func(s *JobSpec) { s.Eps = 0.01 },
+		"dt":         func(s *JobSpec) { s.DT = 0.02 },
+		"integrator": func(s *JobSpec) { s.Integrator = "yoshida4" },
+		"shipping":   func(s *JobSpec) { s.Shipping = "data" },
+		"mode":       func(s *JobSpec) { s.Mode = "potential" },
+		"transport":  func(s *JobSpec) { s.Transport = "tcp" },
+	}
+	seen := map[string]string{key: "base"}
+	for name, mutate := range mutations {
+		s := base
+		mutate(&s)
+		got := s.CacheKey()
+		if got == key {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("mutations %s and %s collide on the same key", name, prev)
+		}
+		seen[got] = name
+	}
+}
+
+// The default-filled spellings of the default simulation must agree with
+// the zero spec.
+func TestCacheKeyZeroSpec(t *testing.T) {
+	zero := JobSpec{}
+	filled := JobSpec{Dist: "plummer", N: 1000, Seed: 1, Processors: 1,
+		Scheme: "spsa", Machine: "ncube2", Mode: "force", Steps: 10}
+	if zero.CacheKey() != filled.CacheKey() {
+		t.Error("zero spec and spelled-out defaults disagree on the cache key")
+	}
+}

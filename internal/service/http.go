@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 )
 
@@ -51,12 +52,25 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
+// maxSubmitBytes bounds a job submission body. A JobSpec serializes to
+// well under a kilobyte; anything beyond a megabyte is a client error
+// (or abuse), and bounding the read keeps one request from holding the
+// daemon's memory hostage.
+const maxSubmitBytes = 1 << 20
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		s.metrics.JobsInvalid.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("job spec exceeds %d bytes", tooLarge.Limit))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Oversized submission bodies must bounce with 413 before reaching
+// admission — MaxBytesReader caps what one request can make the daemon
+// buffer.
+func TestSubmitOversizedBody413(t *testing.T) {
+	svc := startService(t, Options{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var body bytes.Buffer
+	body.WriteString(`{"name":"`)
+	body.Write(bytes.Repeat([]byte("x"), maxSubmitBytes+1))
+	body.WriteString(`"}`)
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: got %d, want 413", resp.StatusCode)
+	}
+
+	// The daemon must remain healthy and keep serving normal requests.
+	resp2, st := postJob(t, ts, shortSpec(1))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after oversized request: got %d, want 202", resp2.StatusCode)
+	}
+	waitUntil(t, "job finishes", func() bool {
+		return getStatus(t, ts, st.ID).State.Terminal()
+	})
+}
+
+// A body just under the limit is not a 413: the bound must not reject
+// legitimate specs.
+func TestSubmitLargeButLegalBody(t *testing.T) {
+	svc := startService(t, Options{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	spec := shortSpec(1)
+	spec.Name = strings.Repeat("n", 4096) // big label, still far under the cap
+	resp, st := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("large-but-legal submit: got %d, want 202", resp.StatusCode)
+	}
+	waitUntil(t, "job finishes", func() bool {
+		return getStatus(t, ts, st.ID).State.Terminal()
+	})
+}

@@ -31,6 +31,7 @@ import (
 //	21–30  internal/msg collective envelopes
 //	31–50  internal/parbh wire structs
 //	51–60  internal/cluster control messages
+//	61–80  internal/fabric gateway/shard control messages
 //
 // ID 0 is reserved for nil.
 const (
