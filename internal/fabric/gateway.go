@@ -123,6 +123,12 @@ type GwJob struct {
 	coalesced bool
 	retries   int
 
+	// cancelRequested marks a leased job whose Cancel was forwarded to
+	// its shard: if that shard dies before acknowledging, the job is
+	// finished canceled instead of re-routed, and new submissions must
+	// not coalesce onto it.
+	cancelRequested bool
+
 	// Lease bookkeeping: which shard holds the job under which lease,
 	// and the shard-local job ID (for Cancel).
 	lease   uint64
@@ -388,22 +394,42 @@ func (g *Gateway) serveShard(c net.Conn) {
 	}
 }
 
-// send enqueues one control message to a shard without blocking the
-// caller; a full queue means the shard has stalled and is failed.
-func (g *Gateway) send(sc *shardConn, payload any) bool {
+// errSendQueueFull distinguishes a stalled shard (fail the shard) from
+// an encoding error (fail the one message) in enqueue's return.
+var errSendQueueFull = errors.New("fabric: shard send queue full")
+
+// enqueue encodes one control message and offers it to the shard's send
+// queue without blocking and without touching g.mu, so it is safe from
+// both locked and unlocked call sites.
+func (g *Gateway) enqueue(sc *shardConn, payload any) error {
 	buf, err := encodeControl(payload)
 	if err != nil {
-		g.opt.Logf("nbodygw: encoding control message for shard %s: %v", sc.name, err)
-		return false
+		return err
 	}
 	select {
 	case sc.sendq <- buf:
-		return true
+		return nil
 	default:
+		return errSendQueueFull
+	}
+}
+
+// send enqueues one control message to a shard without blocking the
+// caller; a full queue means the shard has stalled and is failed.
+// Must be called WITHOUT g.mu held — locked paths (dispatchLocked) use
+// enqueue + shardFailedLocked directly.
+func (g *Gateway) send(sc *shardConn, payload any) bool {
+	err := g.enqueue(sc, payload)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, errSendQueueFull):
 		g.shardFailed(sc, &transport.TransportError{Kind: transport.FaultStall, Proc: sc.id,
 			Err: fmt.Errorf("shard %s send queue full", sc.name)})
-		return false
+	default:
+		g.opt.Logf("nbodygw: encoding control message for shard %s: %v", sc.name, err)
 	}
+	return false
 }
 
 // handleControl dispatches one inbound shard message.
@@ -473,7 +499,11 @@ func (g *Gateway) handleDone(sc *shardConn, msg Done) {
 	}
 	delete(sc.leases, msg.Lease)
 	g.metrics.JobsLeased.Add(-1)
-	delete(g.inflight, j.Key)
+	// A cancel-requested leader may have been replaced in the inflight
+	// index by a fresh leader for the same key; only clear our own entry.
+	if g.inflight[j.Key] == j {
+		delete(g.inflight, j.Key)
+	}
 	j.lease, j.shard = 0, nil
 
 	state := service.State(msg.State)
@@ -521,10 +551,21 @@ func (g *Gateway) requeueLocked(j *GwJob, fault string) {
 		g.metrics.JobsLeased.Add(-1)
 	}
 	j.lease, j.shard, j.localID = 0, nil, ""
+	if j.cancelRequested {
+		// The caller asked for a cancel the dead shard never
+		// acknowledged; honor it now instead of resurrecting the job.
+		if g.inflight[j.Key] == j {
+			delete(g.inflight, j.Key)
+		}
+		g.finishLocked(j, service.StateCanceled, nil, "")
+		return
+	}
 	j.retries++
 	g.metrics.Rerouted.Add(fault, 1)
 	if j.retries > g.opt.RouteRetries {
-		delete(g.inflight, j.Key)
+		if g.inflight[j.Key] == j {
+			delete(g.inflight, j.Key)
+		}
 		g.finishLocked(j, service.StateFailed,
 			nil, fmt.Sprintf("re-routed %d times without completing (last fault: %s)", j.retries, fault))
 		return
@@ -537,15 +578,26 @@ func (g *Gateway) requeueLocked(j *GwJob, fault string) {
 }
 
 // shardFailed removes a shard from the fleet and re-routes every job it
-// held a lease on. The fault kind — the same taxonomy the cluster
-// supervisor keys on — is what the re-route metric records. Idempotent
-// per session.
+// held a lease on. Must be called WITHOUT g.mu held; dispatchLocked
+// reaches the same teardown via shardFailedLocked.
 func (g *Gateway) shardFailed(sc *shardConn, terr *transport.TransportError) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.shardFailedLocked(sc, terr) {
+		g.dispatchLocked()
+	}
+}
+
+// shardFailedLocked is the core of shardFailed: it requires g.mu, does
+// not dispatch (callers do, so a failure inside dispatchLocked cannot
+// recurse), and reports whether this call retired the session. The
+// fault kind — the same taxonomy the cluster supervisor keys on — is
+// what the re-route metric records. Idempotent per session.
+func (g *Gateway) shardFailedLocked(sc *shardConn, terr *transport.TransportError) bool {
 	if !sc.failed.CompareAndSwap(false, true) {
-		return
+		return false
 	}
 	sc.conn.Close()
-	g.mu.Lock()
 	delete(g.shards, sc.id)
 	g.rebuildRingLocked()
 	g.metrics.Shards.Store(int64(len(g.shards)))
@@ -562,14 +614,13 @@ func (g *Gateway) shardFailed(sc *shardConn, terr *transport.TransportError) {
 		j.shard = nil
 		g.requeueLocked(j, terr.Kind.String())
 	}
-	g.dispatchLocked()
-	g.mu.Unlock()
 	select {
 	case <-g.stopping:
 	default:
 		g.opt.Logf("nbodygw: shard %d (%s) lost (%s): %d job(s) re-routed",
 			sc.id, sc.name, terr.Kind, len(orphans))
 	}
+	return true
 }
 
 // rebuildRingLocked recomputes the hash ring from the live shard set.
@@ -701,8 +752,10 @@ func (g *Gateway) Submit(tenantName string, spec service.JobSpec) (GwStatus, err
 	}
 
 	// In-flight coalescing: an identical job is already pending or
-	// running; this submission rides along and completes with it.
-	if leader, ok := g.inflight[key]; ok && !leader.state.Terminal() {
+	// running; this submission rides along and completes with it. A
+	// leader whose cancel is already in flight to its shard is skipped —
+	// riding along would cancel this fresh submission too.
+	if leader, ok := g.inflight[key]; ok && !leader.state.Terminal() && !leader.cancelRequested {
 		j.coalesced = true
 		j.state = leader.state
 		j.progress = leader.progress
@@ -714,6 +767,9 @@ func (g *Gateway) Submit(tenantName string, spec service.JobSpec) (GwStatus, err
 	}
 
 	if g.pending >= g.opt.MaxPending {
+		// The backlog, not the tenant, refused this job: give the quota
+		// token back so a full fleet does not also drain buckets.
+		t.bucket.Refund()
 		g.metrics.JobsRejected.Add(1)
 		g.metrics.Rejected.Add(tenantName, 1)
 		return GwStatus{}, &RejectedError{Tenant: tenantName, Reason: "dispatch backlog full", RetryAfter: time.Second}
@@ -788,7 +844,27 @@ func (g *Gateway) dispatchLocked() {
 		g.metrics.JobsLeased.Add(1)
 		g.metrics.Routed.Add(sc.name, 1)
 		g.metrics.RouteSeconds.Observe(g.opt.Now().Sub(j.created).Seconds())
-		g.send(sc, Assign{Lease: lease, JobID: j.ID, SpecJSON: j.specJSON})
+		if err := g.enqueue(sc, Assign{Lease: lease, JobID: j.ID, SpecJSON: j.specJSON}); err != nil {
+			if errors.Is(err, errSendQueueFull) {
+				// A stalled shard is failed in place (g.mu is held, so
+				// the unlocked shardFailed wrapper would self-deadlock);
+				// its leases — this job included — re-queue and the loop
+				// re-routes them across the survivors.
+				g.shardFailedLocked(sc, &transport.TransportError{Kind: transport.FaultStall, Proc: sc.id,
+					Err: fmt.Errorf("shard %s send queue full", sc.name)})
+				continue
+			}
+			// Encoding failures are deterministic: fail the job rather
+			// than leave a phantom lease the heartbeat keeps alive or
+			// burn the re-route budget retrying a hopeless frame.
+			delete(sc.leases, lease)
+			g.metrics.JobsLeased.Add(-1)
+			j.lease, j.shard = 0, nil
+			if g.inflight[j.Key] == j {
+				delete(g.inflight, j.Key)
+			}
+			g.finishLocked(j, service.StateFailed, nil, fmt.Sprintf("encoding assign frame: %v", err))
+		}
 	}
 }
 
@@ -888,12 +964,37 @@ func (g *Gateway) Cancel(id string) (GwStatus, error) {
 		} else {
 			notify = j.shard
 			cancelMsg = Cancel{Lease: j.lease, JobID: j.ID}
-			// Terminal state arrives via Done(canceled) from the shard.
+			// Terminal state arrives via Done(canceled) from the shard;
+			// if the shard dies first, the flag makes requeueLocked
+			// finish the job canceled instead of re-routing it.
+			j.cancelRequested = true
 		}
+	case len(j.followers) > 0:
+		// Pending leader with coalesced followers: hand the queue slot
+		// to the first follower so other tenants' identical submissions
+		// survive this caller's cancel, mirroring the leased promotion.
+		leader := j.followers[0]
+		leader.followers = append(leader.followers, j.followers[1:]...)
+		leader.coalesced = false
+		leader.state = service.StateQueued
+		leader.specJSON = j.specJSON
+		leader.finishTag = j.finishTag
+		g.inflight[j.Key] = leader
+		g.tenantFor(j.Tenant).replaceQueued(j, leader)
+		j.followers = nil
+		j.state = service.StateCanceled
+		g.metrics.JobsCanceled.Add(1)
 	default:
-		// Pending: mark terminal; dispatchLocked drops it from the queue.
-		delete(g.inflight, j.Key)
+		// Pending, alone: mark terminal and free the backlog slot
+		// eagerly so canceled jobs cannot pin g.pending at the bound.
+		if g.inflight[j.Key] == j {
+			delete(g.inflight, j.Key)
+		}
 		g.finishLocked(j, service.StateCanceled, nil, "")
+		if g.tenantFor(j.Tenant).removeQueued(j) {
+			g.pending--
+			g.metrics.JobsPending.Add(-1)
+		}
 	}
 	st := g.statusLocked(j)
 	g.mu.Unlock()

@@ -44,6 +44,12 @@ func (b *TokenBucket) Take(now time.Time) bool {
 	return false
 }
 
+// Refund returns one token, undoing a Take whose submission was later
+// refused for a non-quota reason (e.g. the dispatch backlog was full).
+func (b *TokenBucket) Refund() {
+	b.tokens = math.Min(b.Burst, b.tokens+1)
+}
+
 // RetryAfter reports how long until the next token accrues — the value
 // a 429 response carries in its Retry-After header. A zero-rate bucket
 // reports a long but finite backoff rather than +Inf.
@@ -103,4 +109,31 @@ func (t *tenant) tagJob(j *GwJob, vtime float64) {
 // admission and lost its shard must not pay for the fleet's fault.
 func (t *tenant) requeueFront(j *GwJob) {
 	t.queue = append([]*GwJob{j}, t.queue...)
+}
+
+// replaceQueued swaps one backlog entry for another in place, so a
+// promoted follower inherits the canceled leader's queue position. The
+// promoted job keeps this tenant's slot even if it belongs to another
+// tenant: its admission was already counted, and the slot's fair-share
+// cost stays with the tenant that queued it.
+func (t *tenant) replaceQueued(old, repl *GwJob) bool {
+	for i, q := range t.queue {
+		if q == old {
+			t.queue[i] = repl
+			return true
+		}
+	}
+	return false
+}
+
+// removeQueued deletes a backlog entry, reporting whether it was
+// present so the caller can release the gateway's pending slot.
+func (t *tenant) removeQueued(j *GwJob) bool {
+	for i, q := range t.queue {
+		if q == j {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
