@@ -51,6 +51,41 @@ func BenchmarkTreeBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalStep measures one warm incremental step (persistent
+// builder + flat SoA kernels) against the cold path (BuildKeyed + pointer
+// traversal) at a small per-step displacement — the temporal-coherence
+// hot path CI tracks for regressions.
+func BenchmarkIncrementalStep(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		s := dist.MustNamed("g", n, 1994)
+		b.Run(fmt.Sprintf("cold/n=%d", n), func(b *testing.B) {
+			bodies := append([]dist.Particle(nil), s.Particles...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr := tree.BuildKeyed(bodies, s.Domain, 8)
+				tr.AccelAll(bodies, 0.67, 0.01)
+			}
+		})
+		b.Run(fmt.Sprintf("incr/n=%d", n), func(b *testing.B) {
+			bodies := append([]dist.Particle(nil), s.Particles...)
+			bld := tree.NewBuilder(s.Domain, 8)
+			var flat *tree.FlatTree
+			step := func() {
+				tr := bld.Step(bodies)
+				flat = tree.Flatten(tr, flat)
+				flat.AccelAll(bodies, 0.67, 0.01)
+			}
+			step() // cold first build
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
+	}
+}
+
 func BenchmarkSerialForce(b *testing.B) {
 	s := benchSet(b, 10000)
 	tr := tree.Build(s.Particles, tree.Options{LeafCap: 8, Domain: s.Domain})

@@ -280,6 +280,7 @@ func All(opt Options) ([]Table, error) {
 		{"treebuild", TreeBuildTable},
 		{"fmm", FMMTable},
 		{"serial", SerialTable},
+		{"incremental", IncrementalTable},
 		{"transport", TransportTable},
 		{"faults", FaultsTable},
 		{"loadbalance", LoadBalanceTable},
@@ -315,6 +316,7 @@ func ByID(id string) (func(Options) (Table, error), bool) {
 		"treebuild":   TreeBuildTable,
 		"fmm":         FMMTable,
 		"serial":      SerialTable,
+		"incremental": IncrementalTable,
 		"transport":   TransportTable,
 		"faults":      FaultsTable,
 		"loadbalance": LoadBalanceTable,

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/integrate"
 	"repro/internal/tree"
+	"repro/internal/vec"
 )
 
 // SerialTable measures host wall-clock of the serial-code hot paths:
@@ -21,9 +23,11 @@ func SerialTable(opt Options) (Table, error) {
 	tab := Table{
 		ID:      "serial",
 		Title:   "host wall-clock of serial kernels (real seconds, not simulated)",
-		Columns: []string{"n", "gomaxprocs", "build_ms", "keyed_build_ms", "force_ms", "interactions"},
+		Columns: []string{"n", "gomaxprocs", "build_ms", "keyed_build_ms", "force_ms", "interactions",
+			"step_ms", "step_build_ms", "step_sort_ms", "step_force_ms", "step_int_ms"},
 		Notes: []string{
 			"build/force are best-of-3 wall times on this host; all other tables report simulated machine times",
+			"step_* columns break one incremental SerialSim time-step (warm, after a cold first build) into phases",
 		},
 	}
 	// Fixed host-benchmark sizes, scaled like the paper datasets so the
@@ -50,6 +54,13 @@ func SerialTable(opt Options) (Table, error) {
 			_, stats = tr.AccelAll(s.Particles, 0.67, 0.01)
 		})
 
+		// Step-phase breakdown of the incremental hot path: one cold
+		// warmup step, then the average over warm steps.
+		stepWall, phases, err := stepPhaseBreakdown(s, 3)
+		if err != nil {
+			return Table{}, err
+		}
+
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprint(len(s.Particles)),
 			fmt.Sprint(runtime.GOMAXPROCS(0)),
@@ -57,12 +68,58 @@ func SerialTable(opt Options) (Table, error) {
 			f2(keyed.Seconds() * 1e3),
 			f2(force.Seconds() * 1e3),
 			fmt.Sprint(stats.Interactions()),
+			f2(stepWall.Seconds() * 1e3),
+			f2(phases[0].Seconds() * 1e3),
+			f2(phases[1].Seconds() * 1e3),
+			f2(phases[2].Seconds() * 1e3),
+			f2(phases[3].Seconds() * 1e3),
 		})
 		recordHost("tree-build", len(s.Particles), build)
 		recordHost("tree-build-keyed", len(s.Particles), keyed)
 		recordHost("force-sweep", len(s.Particles), force)
+		recordHost("sim-step", len(s.Particles), stepWall)
 	}
 	return tab, nil
+}
+
+// stepPhaseBreakdown drives the incremental hot path (tree.Builder +
+// flat SoA kernels under a leapfrog integrator — the same loop as the
+// root package's SerialSim) for one cold warmup step plus `steps` warm
+// steps, and returns the per-step wall time and the per-step averages of
+// the build/sort/force/integrate phases.
+func stepPhaseBreakdown(s *dist.Set, steps int) (time.Duration, [4]time.Duration, error) {
+	method, err := integrate.New("leapfrog")
+	if err != nil {
+		return 0, [4]time.Duration{}, err
+	}
+	bodies := append([]dist.Particle(nil), s.Particles...)
+	builder := tree.NewBuilder(s.Domain, 8)
+	var flat *tree.FlatTree
+	var buildD, sortD, forceD time.Duration
+	accel := func(ps []dist.Particle) []vec.V3 {
+		t0 := time.Now()
+		tr := builder.Step(ps)
+		rep := builder.Last()
+		sortD += rep.KeyDur + rep.SortDur
+		buildD += time.Since(t0) - rep.KeyDur - rep.SortDur
+		tf := time.Now()
+		flat = tree.Flatten(tr, flat)
+		a, _ := flat.AccelAll(ps, 0.67, 0.01)
+		forceD += time.Since(tf)
+		return a
+	}
+	const dt = 0.005
+	method.Step(bodies, dt, accel) // warmup: cold first build
+	buildD, sortD, forceD = 0, 0, 0
+	t0 := time.Now()
+	for i := 0; i < steps; i++ {
+		method.Step(bodies, dt, accel)
+	}
+	total := time.Since(t0)
+	k := time.Duration(steps)
+	return total / k, [4]time.Duration{
+		buildD / k, sortD / k, forceD / k, (total - buildD - sortD - forceD) / k,
+	}, nil
 }
 
 // bestOf runs fn reps times and returns the fastest wall time.

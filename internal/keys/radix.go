@@ -11,10 +11,29 @@ type KeyIdx struct {
 	Idx int32
 }
 
+// keyIdxLess orders pairs by (Key, ID) ascending — the total order every
+// sort in this file produces.
+func keyIdxLess(a, b *KeyIdx) bool {
+	return a.Key < b.Key || (a.Key == b.Key && a.ID < b.ID)
+}
+
+// keyIdxSorted reports whether pairs is already in (Key, ID) order.
+func keyIdxSorted(pairs []KeyIdx) bool {
+	for i := 1; i < len(pairs); i++ {
+		if keyIdxLess(&pairs[i], &pairs[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
 // SortKeyIdx sorts pairs by (Key, ID) ascending with a least-significant-
 // digit radix sort over 8-bit digits: four passes over the ID bytes
 // followed by eight passes over the Key bytes, each pass stable, so the
 // final order is exactly that of a stable comparison sort on (Key, ID).
+// A single detection scan skips the radix passes entirely when the input
+// is already sorted — the common case for incremental rebuilds over
+// nearly-static particle sets and for cold builds of sorted snapshots.
 // Digit columns that are constant across the slice are skipped, which in
 // practice prunes most ID passes and the unused high Key bytes. scratch
 // is reused as the ping-pong buffer when it has sufficient capacity;
@@ -22,6 +41,9 @@ type KeyIdx struct {
 func SortKeyIdx(pairs, scratch []KeyIdx) {
 	n := len(pairs)
 	if n < 2 {
+		return
+	}
+	if keyIdxSorted(pairs) {
 		return
 	}
 	if cap(scratch) < n {
@@ -65,4 +87,101 @@ func SortKeyIdx(pairs, scratch []KeyIdx) {
 	if &src[0] != &pairs[0] {
 		copy(pairs, src)
 	}
+}
+
+// adaptiveMaxDisplacedDenom bounds the displaced fraction (1/denom) beyond which
+// SortKeyIdxAdaptive abandons the extract-and-merge strategy for the full
+// radix sort: extraction plus merge costs ~2n moves regardless of d, but
+// sorting a large displaced set approaches the full sort anyway, so past
+// n/4 the adaptive path would do strictly more work.
+const adaptiveMaxDisplacedDenom = 4
+
+// SortKeyIdxAdaptive sorts pairs by (Key, ID) like SortKeyIdx but exploits
+// nearly-sorted input, the common case when Morton keys are recomputed for
+// particles that moved only slightly since the previous sort. A greedy
+// scan splits the input into a kept run (still sorted) and a displaced
+// set, radix-sorts just the displaced set, and merges it back — O(n +
+// d log-ish d) instead of twelve counting passes. Inputs with more than a
+// quarter of their elements displaced fall back to the full SortKeyIdx.
+// The number of displaced elements is returned as a reuse diagnostic.
+//
+// The greedy rule needs one refinement to be effective: a particle that
+// moved to a higher key is a one-element "spike" sitting at its old rank,
+// and a naive keep-the-maximum scan would keep the spike and displace
+// every in-place element between the spike's old and new ranks. So when
+// the current element extends the run ending one position earlier
+// (element ≥ kept[w-2]), the spike kept[w-1] is evicted to the displaced
+// set instead. Eviction replaces only the top of the kept run, so the
+// scan stays O(n).
+//
+// When every (Key, ID) pair is distinct — always true in the tree and
+// parbh callers, where IDs are unique per particle — the comparator is a
+// strict total order and the result is exactly the SortKeyIdx order.
+// Inputs containing exact (Key, ID) duplicates still come out sorted,
+// but the order among the duplicates is unspecified (eviction can place
+// an evicted element after a later-arriving equal); use SortKeyIdx when
+// byte-stable duplicate ordering matters.
+func SortKeyIdxAdaptive(pairs, scratch []KeyIdx) int {
+	n := len(pairs)
+	if n < 2 {
+		return 0
+	}
+	if cap(scratch) < n {
+		scratch = make([]KeyIdx, n)
+	}
+	scratch = scratch[:n]
+	// Split into scratch: kept grows from the left, displaced from the
+	// right (in reverse event order). kept and displaced together hold at
+	// most i+1 elements, so the two regions can never collide.
+	kept := scratch[:1]
+	kept[0] = pairs[0]
+	dispEnd := n
+	maxDisp := n / adaptiveMaxDisplacedDenom
+	for i := 1; i < n; i++ {
+		v := &pairs[i]
+		w := len(kept)
+		if !keyIdxLess(v, &kept[w-1]) {
+			kept = append(kept, *v)
+			continue
+		}
+		if n-dispEnd == maxDisp {
+			// Too disordered for extract-and-merge; pairs is untouched.
+			SortKeyIdx(pairs, scratch)
+			return maxDisp + 1
+		}
+		dispEnd--
+		if w >= 2 && !keyIdxLess(v, &kept[w-2]) {
+			scratch[dispEnd] = kept[w-1] // evict the spike
+			kept[w-1] = *v
+		} else {
+			scratch[dispEnd] = *v
+		}
+	}
+	d := n - dispEnd
+	if d == 0 {
+		return 0 // pairs was already sorted and was never written
+	}
+	// Restore event order (displacements were stacked right-to-left), then
+	// sort the displaced set. Event order equals original order among
+	// equal elements, which keeps the radix sort's stability meaningful.
+	disp := scratch[dispEnd:]
+	for i, j := 0, d-1; i < j; i, j = i+1, j-1 {
+		disp[i], disp[j] = disp[j], disp[i]
+	}
+	SortKeyIdx(disp, nil)
+	// Merge kept with disp into pairs from the end, displaced element
+	// later on ties (ties require exact (Key, ID) duplicates; see above).
+	w := len(kept)
+	i, j := w-1, d-1
+	for k := n - 1; j >= 0; k-- {
+		if i >= 0 && keyIdxLess(&disp[j], &kept[i]) {
+			pairs[k] = kept[i]
+			i--
+		} else {
+			pairs[k] = disp[j]
+			j--
+		}
+	}
+	copy(pairs[:i+1], kept[:i+1])
+	return d
 }

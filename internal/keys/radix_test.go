@@ -97,6 +97,164 @@ func TestSortKeyIdxSortedInput(t *testing.T) {
 	}
 }
 
+// perturb displaces k random elements of a sorted pair slice by giving
+// them fresh random keys, modelling one step of particle drift.
+func perturb(rng *rand.Rand, pairs []KeyIdx, k int, keySpread uint64) {
+	for j := 0; j < k; j++ {
+		i := rng.Intn(len(pairs))
+		pairs[i].Key = rng.Uint64() % keySpread
+	}
+}
+
+// distinctPairs returns n pairs with unique IDs (the contract under
+// which SortKeyIdxAdaptive reproduces the stable order exactly).
+func distinctPairs(rng *rand.Rand, n int, keySpread uint64) []KeyIdx {
+	pairs := make([]KeyIdx, n)
+	for i := range pairs {
+		pairs[i] = KeyIdx{Key: rng.Uint64() % keySpread, ID: int32(i), Idx: int32(i)}
+	}
+	return pairs
+}
+
+func TestSortKeyIdxAdaptiveMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cases := []struct {
+		name      string
+		n         int
+		moved     int
+		keySpread uint64
+	}{
+		{"empty", 0, 0, 1},
+		{"single", 1, 0, 1},
+		{"none-moved", 1000, 0, 1 << 40},
+		{"one-moved", 1000, 1, 1 << 40},
+		{"few-moved", 2000, 20, 1 << 40},
+		{"quarter-moved", 2000, 500, 1 << 40},
+		{"all-moved", 1500, 1500, 1 << 40},
+		{"dup-keys", 3000, 100, 16},       // heavy key collisions: ID tie-break
+		{"tiny-threshold", 5, 2, 1 << 40}, // n/4 boundary at small n
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pairs := distinctPairs(rng, c.n, c.keySpread)
+			refSort(pairs)
+			perturb(rng, pairs, c.moved, c.keySpread)
+			want := append([]KeyIdx(nil), pairs...)
+			refSort(want)
+			d := SortKeyIdxAdaptive(pairs, nil)
+			if c.moved == 0 && d != 0 {
+				t.Fatalf("sorted input reported %d displaced", d)
+			}
+			if d < 0 || d > c.n {
+				t.Fatalf("displaced count %d out of range", d)
+			}
+			for i := range pairs {
+				if pairs[i] != want[i] {
+					t.Fatalf("index %d: got %+v want %+v", i, pairs[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// With exact (Key, ID) duplicates the adaptive sort only promises a
+// sorted result, not the stable duplicate order (see the doc comment).
+func TestSortKeyIdxAdaptiveDuplicatesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(200)
+		pairs := randomPairs(rng, n, 8, 4)
+		refSort(pairs)
+		perturb(rng, pairs, rng.Intn(n), 8)
+		orig := append([]KeyIdx(nil), pairs...)
+		SortKeyIdxAdaptive(pairs, nil)
+		for i := 1; i < n; i++ {
+			if keyIdxLess(&pairs[i], &pairs[i-1]) {
+				t.Fatalf("trial %d: not sorted at %d: %+v > %+v", trial, i, pairs[i-1], pairs[i])
+			}
+		}
+		// Same multiset: both sorted by a full stable sort must agree.
+		got := append([]KeyIdx(nil), pairs...)
+		fullSort := func(ps []KeyIdx) {
+			sort.SliceStable(ps, func(a, b int) bool {
+				if ps[a].Key != ps[b].Key {
+					return ps[a].Key < ps[b].Key
+				}
+				if ps[a].ID != ps[b].ID {
+					return ps[a].ID < ps[b].ID
+				}
+				return ps[a].Idx < ps[b].Idx
+			})
+		}
+		fullSort(got)
+		fullSort(orig)
+		for i := range got {
+			if got[i] != orig[i] {
+				t.Fatalf("trial %d: multiset changed at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSortKeyIdxAdaptiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		pairs := distinctPairs(rng, n, 1+rng.Uint64()%(1<<uint(rng.Intn(50))))
+		refSort(pairs)
+		perturb(rng, pairs, rng.Intn(n+1), 1<<40)
+		want := append([]KeyIdx(nil), pairs...)
+		refSort(want)
+		scratch := make([]KeyIdx, rng.Intn(2*n)) // undersized and oversized scratch
+		SortKeyIdxAdaptive(pairs, scratch)
+		for i := range pairs {
+			if pairs[i] != want[i] {
+				t.Fatalf("trial %d n=%d index %d: got %+v want %+v", trial, n, i, pairs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortKeyIdxAdaptiveSpikeEviction(t *testing.T) {
+	// One particle moving to a much higher key is a spike at its old
+	// rank. The scan must evict the spike, not displace the whole run
+	// behind it: with a naive keep-the-maximum rule d would be ~n and the
+	// adaptive path would always fall back to the full sort.
+	n := 1000
+	pairs := make([]KeyIdx, n)
+	for i := range pairs {
+		pairs[i] = KeyIdx{Key: uint64(i) << 20, ID: int32(i), Idx: int32(i)}
+	}
+	pairs[100].Key = uint64(900) << 20 // jumps 800 ranks up
+	pairs[500].Key = uint64(10) << 20  // jumps 490 ranks down
+	want := append([]KeyIdx(nil), pairs...)
+	refSort(want)
+	d := SortKeyIdxAdaptive(pairs, nil)
+	if d > 4 {
+		t.Fatalf("two movers displaced %d elements; spike eviction not working", d)
+	}
+	for i := range pairs {
+		if pairs[i] != want[i] {
+			t.Fatalf("index %d: got %+v want %+v", i, pairs[i], want[i])
+		}
+	}
+}
+
+func BenchmarkSortKeyIdxAdaptiveNearlySorted(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pairs := randomPairs(rng, 100000, 1<<63, 1<<30)
+	refSort(pairs)
+	perturbed := append([]KeyIdx(nil), pairs...)
+	perturb(rng, perturbed, 1000, 1<<63)
+	scratch := make([]KeyIdx, len(pairs))
+	work := make([]KeyIdx, len(pairs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, perturbed)
+		SortKeyIdxAdaptive(work, scratch)
+	}
+}
+
 func BenchmarkSortKeyIdx(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	pairs := randomPairs(rng, 100000, 1<<63, 1<<30)

@@ -39,6 +39,14 @@ type Engine struct {
 	// owned by processor i (boundKeys[0] = 0).
 	boundKeys []uint64
 
+	// builders[i] is rank i's persistent incremental tree builder (DPDA
+	// only; lazily created, nil for ranks hosted by other processes).
+	// Migration keeps each rank's particles Morton-sorted, so the keyed
+	// local build diffs against the previous step's tree instead of
+	// starting cold — a host-clock optimization only: the built trees,
+	// and every simulated metric derived from them, are bit-identical.
+	builders []*tree.Builder
+
 	step int
 }
 
@@ -50,6 +58,7 @@ func New(machine *msg.Machine, set *dist.Set, cfg Config) (*Engine, error) {
 	p := machine.P
 	e := &Engine{cfg: cfg, machine: machine, n: set.N()}
 	e.domain = set.Domain.Cube()
+	e.builders = make([]*tree.Builder, p)
 
 	switch cfg.Scheme {
 	case SPSA, SPDA:
@@ -152,6 +161,7 @@ func (e *Engine) ownerOfPos(pos vec.V3) int {
 type localState struct {
 	me       int
 	parts    []dist.Particle
+	sortKeys []uint64 // DPDA: full-res Morton keys aligned with parts, set by migrate
 	branches []*tree.Node          // local branch subtree roots, Morton order
 	rootsMap map[uint64]*tree.Node // packed key -> branch root
 	lookup   branchLookup          // request-serving lookup structure
@@ -437,14 +447,30 @@ func (e *Engine) migrate(pr *msg.Proc, st *localState) {
 	}
 	recv := pr.AllToAll(payloads, words)
 	var mine []dist.Particle
-	for src := 0; src < p; src++ {
-		mine = append(mine, fromWire(recv[src].([]wireParticle))...)
+	if e.cfg.Scheme == DPDA {
+		// Assemble the retained (already sorted) run first and the
+		// immigrant runs after it, so the adaptive re-sort sees one long
+		// kept prefix plus a few displaced newcomers. The order feeds a
+		// strict-total-order sort, so it cannot affect the result; other
+		// schemes keep source order because theirs is never re-sorted.
+		mine = append(mine, fromWire(recv[st.me].([]wireParticle))...)
+		for src := 0; src < p; src++ {
+			if src != st.me {
+				mine = append(mine, fromWire(recv[src].([]wireParticle))...)
+			}
+		}
+	} else {
+		for src := 0; src < p; src++ {
+			mine = append(mine, fromWire(recv[src].([]wireParticle))...)
+		}
 	}
 	if e.cfg.Scheme == DPDA {
 		// Keep the local set Morton-sorted: the DPDA load balance relies
 		// on rank-concatenation being the global Morton order. The charged
-		// cost is unchanged; only the host-side sort got cheaper.
-		mine, _ = sortByKeyID(mine, e.domain)
+		// cost is unchanged; only the host-side sort got cheaper. The key
+		// slice rides along to buildLocal so the incremental builder can
+		// diff it against the previous step without recomputing keys.
+		mine, st.sortKeys = sortByKeyID(mine, e.domain)
 		pr.Compute(float64(len(mine)) * 12)
 	}
 	st.parts = mine
@@ -453,7 +479,9 @@ func (e *Engine) migrate(pr *msg.Proc, st *localState) {
 // sortByKeyID returns the particles sorted by (full-resolution Morton
 // key, ID) together with the aligned key slice. Each key is computed
 // exactly once and radix-sorted, replacing the comparison sort whose
-// comparator recomputed both keys on every call.
+// comparator recomputed both keys on every call. The adaptive pass
+// exploits the migrate-phase input shape — a long already-sorted run of
+// retained particles plus a few immigrants.
 func sortByKeyID(ps []dist.Particle, domain vec.Box) ([]dist.Particle, []uint64) {
 	pairs := make([]keys.KeyIdx, len(ps))
 	for i := range ps {
@@ -463,7 +491,7 @@ func sortByKeyID(ps []dist.Particle, domain vec.Box) ([]dist.Particle, []uint64)
 			Idx: int32(i),
 		}
 	}
-	keys.SortKeyIdx(pairs, nil)
+	keys.SortKeyIdxAdaptive(pairs, nil)
 	out := make([]dist.Particle, len(ps))
 	ks := make([]uint64, len(ps))
 	for i := range pairs {
@@ -512,8 +540,22 @@ func (e *Engine) buildLocal(pr *msg.Proc, st *localState) {
 			hi = e.boundKeys[st.me+1]
 		}
 		// The keyed build guarantees cell membership agrees with the
-		// quantized Morton keys that define zone ownership.
-		local := tree.BuildKeyed(st.parts, e.domain, e.cfg.LeafCap)
+		// quantized Morton keys that define zone ownership. The rank's
+		// persistent builder reconciles against its previous tree using
+		// the sorted snapshot migrate produced; the tree (and every
+		// simulated metric) is bit-identical to a from-scratch BuildKeyed.
+		// Branch nodes extracted from it are valid for this step only.
+		b := e.builders[st.me]
+		if b == nil {
+			b = tree.NewBuilder(e.domain, e.cfg.LeafCap)
+			e.builders[st.me] = b
+		}
+		var local *tree.Tree
+		if st.sortKeys != nil {
+			local = b.StepSorted(st.parts, st.sortKeys)
+		} else {
+			local = b.Step(st.parts)
+		}
 		e.extractBranches(local.Root, lo, hi, st)
 	}
 	// Charge construction cost and build expansions.

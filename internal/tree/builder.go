@@ -1,0 +1,427 @@
+package tree
+
+import (
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/keys"
+	"repro/internal/vec"
+)
+
+// Builder constructs keyed octrees incrementally across time-steps by
+// exploiting temporal coherence: particles move little between steps, so
+// most of the (key, ID)-sorted order — and most of the tree built over it
+// — survives from one step to the next. Step retains the sorted KeyIdx
+// permutation, recomputes Morton keys in place, re-sorts with an adaptive
+// nearly-sorted pass, then walks the retained tree against the new key
+// array: cells whose shape survives (leaves that still fit a leaf,
+// internal nodes that stay internal) are refreshed in place, only cells
+// whose structure changed are rebuilt on the persistent slab arena, and
+// Count/Mass/COM are re-accumulated along the spine between them.
+//
+// The result is pinned to the from-scratch build: every tree returned by
+// Step or StepSorted is bit-identical — node for node, field for field —
+// to BuildKeyed over the same particles, because refreshed nodes replay
+// exactly the moment arithmetic of the builder and rebuilt ranges run the
+// very same buildKeyedRange. This is the two-clock rule: only the host
+// clock changes.
+//
+// The returned *Tree and its leaves alias buffers owned by the Builder
+// and are overwritten by the next Step; callers must finish traversing a
+// step's tree before starting the next. A Builder is not safe for
+// concurrent use.
+type Builder struct {
+	box     vec.Box // cubed root cell; keys quantize against it
+	leafCap int
+
+	t     *Tree
+	arena *nodeArena
+
+	// pairs is the retained (key, ID, input-index) permutation from the
+	// previous Step; valid only when havePairs (StepSorted bypasses it).
+	pairs     []keys.KeyIdx
+	scratch   []keys.KeyIdx
+	havePairs bool
+
+	// ps/ks hold the current tree's sorted particles and keys; psAlt/ksAlt
+	// are the ping-pong buffers the next step gathers into, so the live
+	// tree's leaf slices are never scribbled on mid-sync.
+	ps, psAlt []dist.Particle
+	ks, ksAlt []uint64
+
+	// Arena-growth bookkeeping: rebuilt subtrees allocate fresh nodes
+	// while the nodes they replace stay pinned in the slabs. Once the
+	// accumulated garbage rivals the live tree, a cold rebuild on a fresh
+	// arena lets the old slabs go to the GC.
+	coldNodes       int
+	rebuiltNodes    int
+	rebuiltParallel bool
+
+	last BuildReport
+}
+
+// BuildReport describes what the most recent Step did — host-side
+// diagnostics only; nothing here feeds back into the simulation.
+type BuildReport struct {
+	Cold      bool // full from-scratch build (first step, shape change, or arena recycle)
+	N         int
+	Displaced int // elements the adaptive re-sort had to move
+	Refreshed int // leaves kept and refreshed in place
+	Rebuilt   int // nodes newly built for structurally-dirtied ranges
+	Spine     int // retained internal nodes re-accumulated in place
+
+	KeyDur  time.Duration // Morton key recomputation
+	SortDur time.Duration // adaptive (or full) re-sort
+	TreeDur time.Duration // diff + refresh + rebuild + spine patching
+}
+
+// NewBuilder returns an incremental builder for trees rooted at the cube
+// around domain with the given leaf capacity (s parameter; zero means
+// DefaultLeafCap). The domain must match across steps — it anchors the
+// Morton quantization, exactly as in BuildKeyed.
+func NewBuilder(domain vec.Box, leafCap int) *Builder {
+	if leafCap <= 0 {
+		leafCap = DefaultLeafCap
+	}
+	return &Builder{box: domain.Cube(), leafCap: leafCap}
+}
+
+// Tree returns the tree produced by the most recent Step (nil before the
+// first).
+func (b *Builder) Tree() *Tree { return b.t }
+
+// Last returns the report for the most recent Step.
+func (b *Builder) Last() BuildReport { return b.last }
+
+// Reset drops all retained state; the next Step is a cold build.
+func (b *Builder) Reset() {
+	b.t = nil
+	b.havePairs = false
+	b.ps, b.ks = nil, nil
+	b.arena = nil
+}
+
+// Step builds the octree for the particles, incrementally when the
+// retained state applies. The warm path requires the same particles (by
+// ID) in the same input order as the previous Step — the invariant of a
+// stepped simulation whose authoritative body slice is indexed by ID.
+// Any mismatch (length change, reordering, first call) falls back to a
+// cold build identical to BuildKeyed.
+func (b *Builder) Step(particles []dist.Particle) *Tree {
+	n := len(particles)
+	if b.t == nil || !b.havePairs || n != len(b.ps) || n == 0 || b.arenaStale() {
+		return b.cold(particles)
+	}
+	t0 := time.Now()
+	// Recompute the Morton keys in place over the retained sorted
+	// permutation. pairs[i].Idx addresses the input slice; the ID guard
+	// detects any reordering of it.
+	pairs := b.pairs
+	for i := range pairs {
+		p := &particles[pairs[i].Idx]
+		if int32(p.ID) != pairs[i].ID {
+			return b.cold(particles)
+		}
+		pairs[i].Key = uint64(keys.PointKey3(p.Pos, b.box, keys.MaxBits3D))
+	}
+	keyDur := time.Since(t0)
+
+	t0 = time.Now()
+	displaced := keys.SortKeyIdxAdaptive(pairs, b.scratch)
+	sortDur := time.Since(t0)
+
+	t0 = time.Now()
+	newPs, newKs := b.spareBuffers(n)
+	for i := range pairs {
+		newPs[i] = particles[pairs[i].Idx]
+		newKs[i] = pairs[i].Key
+	}
+	b.sync(newPs, newKs)
+	b.last = BuildReport{
+		N:         n,
+		Displaced: displaced,
+		Refreshed: b.last.Refreshed,
+		Rebuilt:   b.last.Rebuilt,
+		Spine:     b.last.Spine,
+		KeyDur:    keyDur,
+		SortDur:   sortDur,
+		TreeDur:   time.Since(t0),
+	}
+	return b.t
+}
+
+// StepSorted is Step for callers that already hold the particles in
+// (key, ID)-sorted order alongside the key slice — the invariant the
+// DPDA migration phase maintains. No retained permutation is needed: the
+// given order is diffed directly against the previous step's. ks[i] must
+// be the full-resolution Morton key of sorted[i] quantized against this
+// builder's domain; a defensive scan falls back to sorting internally if
+// the order does not hold. The input slices are copied; the caller keeps
+// ownership.
+func (b *Builder) StepSorted(sorted []dist.Particle, ks []uint64) *Tree {
+	n := len(sorted)
+	if len(ks) != n {
+		panic("tree: StepSorted key slice length mismatch")
+	}
+	b.havePairs = false
+	if !sortedKeyID(sorted, ks) {
+		sorted, ks = resortKeyID(sorted, ks)
+	}
+	if b.t == nil || n != len(b.ps) || n == 0 || b.arenaStale() {
+		return b.coldSorted(sorted, ks)
+	}
+	t0 := time.Now()
+	newPs, newKs := b.spareBuffers(n)
+	copy(newPs, sorted)
+	copy(newKs, ks)
+	b.sync(newPs, newKs)
+	b.last = BuildReport{
+		N:         n,
+		Refreshed: b.last.Refreshed,
+		Rebuilt:   b.last.Rebuilt,
+		Spine:     b.last.Spine,
+		TreeDur:   time.Since(t0),
+	}
+	return b.t
+}
+
+// arenaStale reports whether rebuild garbage has outgrown the live tree,
+// the signal to recycle everything with a cold build on a fresh arena.
+func (b *Builder) arenaStale() bool {
+	return b.rebuiltNodes > b.coldNodes+64
+}
+
+// spareBuffers returns the ping-pong particle/key buffers for the next
+// sorted snapshot, allocating them on the first warm step (one-shot cold
+// builds never pay for the second copy).
+func (b *Builder) spareBuffers(n int) ([]dist.Particle, []uint64) {
+	if cap(b.psAlt) < n {
+		b.psAlt = make([]dist.Particle, n)
+	}
+	if cap(b.ksAlt) < n {
+		b.ksAlt = make([]uint64, n)
+	}
+	return b.psAlt[:n], b.ksAlt[:n]
+}
+
+// cold runs the from-scratch path — exactly BuildKeyed — while priming
+// the retained state for subsequent warm steps.
+func (b *Builder) cold(particles []dist.Particle) *Tree {
+	n := len(particles)
+	t0 := time.Now()
+	if cap(b.pairs) < n {
+		b.pairs = make([]keys.KeyIdx, n)
+	}
+	pairs := b.pairs[:n]
+	b.pairs = pairs
+	for i := range particles {
+		pairs[i] = keys.KeyIdx{
+			Key: uint64(keys.PointKey3(particles[i].Pos, b.box, keys.MaxBits3D)),
+			ID:  int32(particles[i].ID),
+			Idx: int32(i),
+		}
+	}
+	keyDur := time.Since(t0)
+	t0 = time.Now()
+	if cap(b.scratch) < n {
+		b.scratch = make([]keys.KeyIdx, n)
+	}
+	keys.SortKeyIdx(pairs, b.scratch)
+	sortDur := time.Since(t0)
+	t0 = time.Now()
+	ps := b.ps
+	if cap(ps) < n {
+		ps = make([]dist.Particle, n)
+	}
+	ps = ps[:n]
+	ks := b.ks
+	if cap(ks) < n {
+		ks = make([]uint64, n)
+	}
+	ks = ks[:n]
+	for i := range pairs {
+		ps[i] = particles[pairs[i].Idx]
+		ks[i] = pairs[i].Key
+	}
+	b.havePairs = true
+	t := b.coldBuild(ps, ks)
+	b.last = BuildReport{Cold: true, N: n, KeyDur: keyDur, SortDur: sortDur, TreeDur: time.Since(t0)}
+	return t
+}
+
+// coldSorted is the cold path over an already-sorted snapshot.
+func (b *Builder) coldSorted(sorted []dist.Particle, ks []uint64) *Tree {
+	n := len(sorted)
+	t0 := time.Now()
+	ps := b.ps
+	if cap(ps) < n {
+		ps = make([]dist.Particle, n)
+	}
+	ps = ps[:n]
+	kk := b.ks
+	if cap(kk) < n {
+		kk = make([]uint64, n)
+	}
+	kk = kk[:n]
+	copy(ps, sorted)
+	copy(kk, ks)
+	t := b.coldBuild(ps, kk)
+	b.last = BuildReport{Cold: true, N: n, TreeDur: time.Since(t0)}
+	return t
+}
+
+// coldBuild installs ps/ks as the current snapshot and builds the whole
+// tree over a fresh arena.
+func (b *Builder) coldBuild(ps []dist.Particle, ks []uint64) *Tree {
+	b.ps, b.ks = ps, ks
+	b.arena = newNodeArena(len(ps), b.leafCap)
+	b.t = &Tree{LeafCap: b.leafCap, Degree: -1}
+	b.t.Root = buildKeyedRange(ps, ks, b.box, keys.CellKey{}, b.leafCap, b.arena)
+	b.coldNodes = countNodes(b.t.Root)
+	b.rebuiltNodes = 0
+	return b.t
+}
+
+// sync reconciles the retained tree with the new sorted snapshot and
+// swaps the ping-pong buffers. On return b.ps/b.ks hold the new snapshot
+// and every leaf of b.t aliases it.
+func (b *Builder) sync(newPs []dist.Particle, newKs []uint64) {
+	b.last.Refreshed, b.last.Rebuilt, b.last.Spine = 0, 0, 0
+	b.rebuiltParallel = false
+	root := b.syncNode(b.t.Root, 0, len(newPs), b.box, keys.CellKey{}, newPs, newKs)
+	b.t.Root = root
+	b.t.Degree = -1 // expansions, if any were built, were invalidated
+	b.ps, b.psAlt = newPs, b.ps
+	b.ks, b.ksAlt = newKs, b.ks
+}
+
+// syncNode reconciles the cell (box, key), whose new content is
+// newPs[lo:hi), against its previous subtree old. The diff is
+// structural, not positional: which particles land in the cell is fully
+// determined by the parent's octant partition of the new key array, so
+// the only question per cell is whether the retained node's shape (leaf
+// vs internal) still matches what the from-scratch build would produce
+// there. Low-order key bits change whenever a particle moves at all —
+// comparing raw key sequences would dirty every leaf every step — but
+// the tree's shape only depends on octant digits down to each cell's
+// level, which small displacements rarely flip.
+//
+// Three outcomes, in order of preference:
+//
+//   - refresh: the new range still fits a leaf and the old node is one.
+//     The node keeps its identity (Box, Key, arena slot); fillLeaf —
+//     the literal cold-path function — re-aliases the particle slice
+//     and replays the moment arithmetic, so the result is bit-identical
+//     to a fresh build no matter how the particles inside moved.
+//   - descend: both old and new are internal cells, so the children are
+//     reconciled octant by octant and this spine node's Count/Mass/COM
+//     are re-accumulated exactly as buildKeyedRange would.
+//   - rebuild: the shape changed (cell newly occupied, leaf split past
+//     leafCap, or subtree collapsed to leaf size). buildKeyedRange — the
+//     literal cold-path function — runs over the range on the persistent
+//     arena, so conservative dirtying can never change the result, only
+//     the host clock.
+func (b *Builder) syncNode(old *Node, lo, hi int, box vec.Box, key keys.CellKey, newPs []dist.Particle, newKs []uint64) *Node {
+	n := hi - lo
+	level := int(key.Level)
+	if n <= b.leafCap || level >= MaxDepth {
+		if old != nil && old.IsLeaf() {
+			b.refreshLeaf(old, newPs[lo:hi])
+			return old
+		}
+		return b.rebuild(lo, hi, box, key, newPs, newKs)
+	}
+	if old == nil || old.IsLeaf() {
+		return b.rebuild(lo, hi, box, key, newPs, newKs)
+	}
+	// Both internal: reconcile children octant by octant. bounds[o] is
+	// the first new index whose octant digit is ≥ o (the same binary
+	// search as buildKeyedRange).
+	var bounds [9]int
+	bounds[0], bounds[8] = lo, hi
+	for o := 7; o >= 1; o-- {
+		blo, bhi := lo, bounds[o+1]
+		for blo < bhi {
+			mid := int(uint(blo+bhi) >> 1)
+			if keyOctant(newKs[mid], level) < o {
+				blo = mid + 1
+			} else {
+				bhi = mid
+			}
+		}
+		bounds[o] = blo
+	}
+	old.Count = n
+	old.Mass = 0
+	old.COM = vec.V3{}
+	old.Load = 0
+	old.Exp = nil
+	b.last.Spine++
+	for o := 0; o < 8; o++ {
+		clo, chi := bounds[o], bounds[o+1]
+		if clo == chi {
+			old.Children[o] = nil
+			continue
+		}
+		child := b.syncNode(old.Children[o], clo, chi, box.Octant(o), key.Child(o), newPs, newKs)
+		old.Children[o] = child
+		old.Mass += child.Mass
+		old.COM = old.COM.Add(child.COM.Scale(child.Mass))
+	}
+	if old.Mass > 0 {
+		old.COM = old.COM.Scale(1 / old.Mass)
+	}
+	return old
+}
+
+// rebuild replaces a dirtied range with a from-scratch subtree on the
+// persistent arena and accounts the garbage this strands.
+func (b *Builder) rebuild(lo, hi int, box vec.Box, key keys.CellKey, newPs []dist.Particle, newKs []uint64) *Node {
+	sub := buildKeyedRange(newPs[lo:hi], newKs[lo:hi], box, key, b.leafCap, b.arena)
+	c := countNodes(sub)
+	b.rebuiltNodes += c
+	b.last.Rebuilt += c
+	return sub
+}
+
+// refreshLeaf rewires a retained leaf onto the new particle snapshot,
+// replaying exactly the arithmetic (and accumulation order) of the
+// from-scratch build, so the refreshed leaf is bit-identical to what
+// buildKeyedRange would produce.
+func (b *Builder) refreshLeaf(n *Node, ps []dist.Particle) {
+	b.last.Refreshed++
+	n.Count = len(ps)
+	n.Mass = 0
+	n.COM = vec.V3{}
+	n.Load = 0
+	n.Exp = nil
+	n.Particles = nil
+	fillLeaf(n, ps)
+}
+
+// sortedKeyID reports whether ps is in (ks, ID) order.
+func sortedKeyID(ps []dist.Particle, ks []uint64) bool {
+	for i := 1; i < len(ps); i++ {
+		if ks[i] < ks[i-1] || (ks[i] == ks[i-1] && ps[i].ID < ps[i-1].ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// resortKeyID sorts a (particle, key) snapshot that violated the caller's
+// sortedness contract — the defensive fallback of StepSorted.
+func resortKeyID(ps []dist.Particle, ks []uint64) ([]dist.Particle, []uint64) {
+	pairs := make([]keys.KeyIdx, len(ps))
+	for i := range ps {
+		pairs[i] = keys.KeyIdx{Key: ks[i], ID: int32(ps[i].ID), Idx: int32(i)}
+	}
+	keys.SortKeyIdx(pairs, nil)
+	outPs := make([]dist.Particle, len(ps))
+	outKs := make([]uint64, len(ps))
+	for i := range pairs {
+		outPs[i] = ps[pairs[i].Idx]
+		outKs[i] = pairs[i].Key
+	}
+	return outPs, outKs
+}

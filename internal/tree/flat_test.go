@@ -1,0 +1,185 @@
+package tree
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/dist"
+	"repro/internal/vec"
+)
+
+// The flat SoA kernels replay the recursive traversal's exact reduction
+// tree (PUSH/POP interaction-list markers), so their accelerations,
+// potentials, Stats, and per-node Load counters must be bit-identical to
+// the pointer-chasing AccelAll/PotentialAll — not approximately equal.
+
+func flatVsPointerAccel(t *testing.T, ps []dist.Particle, domain vec.Box, alpha, eps float64, leafCap int) {
+	t.Helper()
+	ptrTree := BuildKeyed(ps, domain, leafCap)
+	wantAcc, wantStats := ptrTree.AccelAll(ps, alpha, eps)
+	wantLoads := collectLoads(ptrTree)
+
+	flatTree := BuildKeyed(ps, domain, leafCap)
+	f := Flatten(flatTree, nil)
+	gotAcc, gotStats := f.AccelAll(ps, alpha, eps)
+	gotLoads := collectLoads(flatTree)
+
+	if gotStats != wantStats {
+		t.Fatalf("stats differ: flat %+v pointer %+v", gotStats, wantStats)
+	}
+	for i := range wantAcc {
+		if math.Float64bits(gotAcc[i].X) != math.Float64bits(wantAcc[i].X) ||
+			math.Float64bits(gotAcc[i].Y) != math.Float64bits(wantAcc[i].Y) ||
+			math.Float64bits(gotAcc[i].Z) != math.Float64bits(wantAcc[i].Z) {
+			t.Fatalf("accel %d differs: flat %v pointer %v", i, gotAcc[i], wantAcc[i])
+		}
+	}
+	if len(gotLoads) != len(wantLoads) {
+		t.Fatalf("load vector length: %d vs %d", len(gotLoads), len(wantLoads))
+	}
+	for i := range wantLoads {
+		if gotLoads[i] != wantLoads[i] {
+			t.Fatalf("load %d differs: flat %d pointer %d", i, gotLoads[i], wantLoads[i])
+		}
+	}
+}
+
+func TestFlatAccelMatchesPointer(t *testing.T) {
+	for _, name := range []string{"plummer", "g", "uniform"} {
+		t.Run(name, func(t *testing.T) {
+			s := dist.MustNamed(name, 3000, 61)
+			for _, alpha := range []float64{0.3, 0.67, 1.2} {
+				flatVsPointerAccel(t, s.Particles, s.Domain, alpha, 0.01, 8)
+			}
+		})
+	}
+}
+
+func TestFlatAccelSmallAndDegenerate(t *testing.T) {
+	domain := vec.Box{Min: vec.V3{X: -1, Y: -1, Z: -1}, Max: vec.V3{X: 1, Y: 1, Z: 1}}
+	t.Run("single", func(t *testing.T) {
+		ps := []dist.Particle{{ID: 0, Mass: 2, Pos: vec.V3{X: 0.25}}}
+		flatVsPointerAccel(t, ps, domain, 0.67, 0.01, 8)
+	})
+	t.Run("root-leaf", func(t *testing.T) {
+		// n ≤ leafCap: the whole tree is one leaf, the rootLeaf kernel path.
+		ps := make([]dist.Particle, 6)
+		for i := range ps {
+			ps[i] = dist.Particle{ID: i, Mass: 1, Pos: vec.V3{X: float64(i) * 0.1, Y: -0.3}}
+		}
+		flatVsPointerAccel(t, ps, domain, 0.67, 0.01, 8)
+	})
+	t.Run("coincident", func(t *testing.T) {
+		ps := make([]dist.Particle, 20)
+		for i := range ps {
+			ps[i] = dist.Particle{ID: i, Mass: 1, Pos: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}}
+		}
+		flatVsPointerAccel(t, ps, domain, 0.67, 0.01, 4)
+	})
+}
+
+func TestFlatAccelRootPC(t *testing.T) {
+	// A tight far cluster plus one distant probe: with a generous alpha
+	// the probe accepts the root cell outright — the rootPC kernel path.
+	domain := vec.Box{Min: vec.V3{X: -100, Y: -100, Z: -100}, Max: vec.V3{X: 100, Y: 100, Z: 100}}
+	var ps []dist.Particle
+	for i := 0; i < 30; i++ {
+		ps = append(ps, dist.Particle{ID: i, Mass: 1, Pos: vec.V3{
+			X: -90 + 0.01*float64(i%5), Y: -90 + 0.01*float64(i/5), Z: -90}})
+	}
+	ps = append(ps, dist.Particle{ID: 30, Mass: 1, Pos: vec.V3{X: 95, Y: 95, Z: 95}})
+	flatVsPointerAccel(t, ps, domain, 5.0, 0.01, 4)
+}
+
+func TestFlatPotentialMatchesPointer(t *testing.T) {
+	s := dist.MustNamed("plummer", 2500, 23)
+	for _, degree := range []int{0, 2, 4} {
+		ptrTree := BuildKeyed(s.Particles, s.Domain, 8)
+		ptrTree.BuildExpansions(degree)
+		wantPot, wantStats := ptrTree.PotentialAll(s.Particles, 0.67)
+		wantLoads := collectLoads(ptrTree)
+
+		flatTree := BuildKeyed(s.Particles, s.Domain, 8)
+		flatTree.BuildExpansions(degree)
+		f := Flatten(flatTree, nil)
+		gotPot, gotStats := f.PotentialAll(s.Particles, 0.67)
+		gotLoads := collectLoads(flatTree)
+
+		if gotStats != wantStats {
+			t.Fatalf("degree %d: stats differ: flat %+v pointer %+v", degree, gotStats, wantStats)
+		}
+		for i := range wantPot {
+			if math.Float64bits(gotPot[i]) != math.Float64bits(wantPot[i]) {
+				t.Fatalf("degree %d: potential %d differs: flat %v pointer %v", degree, i, gotPot[i], wantPot[i])
+			}
+		}
+		for i := range wantLoads {
+			if gotLoads[i] != wantLoads[i] {
+				t.Fatalf("degree %d: load %d differs", degree, i)
+			}
+		}
+	}
+}
+
+func TestFlatParallelMatchesSerial(t *testing.T) {
+	oldProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(oldProcs)
+
+	s := dist.MustNamed("plummer", 4000, 61)
+
+	serialTree := BuildKeyed(s.Particles, s.Domain, 8)
+	fs := Flatten(serialTree, nil)
+	prev := compute.SetMaxWorkers(1)
+	wantAcc, wantStats := fs.AccelAll(s.Particles, 0.67, 0.01)
+	compute.SetMaxWorkers(prev)
+	wantLoads := collectLoads(serialTree)
+
+	parTree := BuildKeyed(s.Particles, s.Domain, 8)
+	fp := Flatten(parTree, nil)
+	if w := compute.Workers(len(s.Particles)); w < 2 {
+		t.Fatalf("expected multiple workers, got %d", w)
+	}
+	gotAcc, gotStats := fp.AccelAll(s.Particles, 0.67, 0.01)
+	gotLoads := collectLoads(parTree)
+
+	if gotStats != wantStats {
+		t.Fatalf("stats differ: parallel %+v serial %+v", gotStats, wantStats)
+	}
+	for i := range wantAcc {
+		if gotAcc[i] != wantAcc[i] {
+			t.Fatalf("accel %d differs: parallel %v serial %v", i, gotAcc[i], wantAcc[i])
+		}
+	}
+	for i := range wantLoads {
+		if gotLoads[i] != wantLoads[i] {
+			t.Fatalf("load %d differs: parallel %d serial %d", i, gotLoads[i], wantLoads[i])
+		}
+	}
+}
+
+func TestFlattenReuse(t *testing.T) {
+	// Reusing a FlatTree across rebuilds (the per-step pattern in
+	// SerialSim) must give the same answers as a fresh flatten.
+	s := dist.MustNamed("g", 1500, 7)
+	tr := BuildKeyed(s.Particles, s.Domain, 8)
+	f := Flatten(tr, nil)
+	f.AccelAll(s.Particles, 0.67, 0.01)
+
+	small := s.Particles[:200]
+	tr2 := BuildKeyed(small, s.Domain, 8)
+	f = Flatten(tr2, f) // shrinking reuse
+	gotAcc, gotStats := f.AccelAll(small, 0.67, 0.01)
+
+	ref := BuildKeyed(small, s.Domain, 8)
+	wantAcc, wantStats := Flatten(ref, nil).AccelAll(small, 0.67, 0.01)
+	if gotStats != wantStats {
+		t.Fatalf("stats differ after reuse: %+v vs %+v", gotStats, wantStats)
+	}
+	for i := range wantAcc {
+		if gotAcc[i] != wantAcc[i] {
+			t.Fatalf("accel %d differs after reuse", i)
+		}
+	}
+}

@@ -303,15 +303,10 @@ func buildNode(ps, scratch []dist.Particle, box vec.Box, key keys.CellKey, leafC
 // counting scatter per level. Particles whose input order already is the
 // (key, ID) order — the invariant the DPDA engine maintains — come out
 // in exactly the same leaf order as before.
+// BuildKeyed is the cold-start path of Builder.Step: a one-shot Builder
+// runs the same sort and range build without any retained state.
 func BuildKeyed(particles []dist.Particle, domain vec.Box, leafCap int) *Tree {
-	if leafCap <= 0 {
-		leafCap = DefaultLeafCap
-	}
-	box := domain.Cube()
-	ps, ks := sortedByKey(particles, box)
-	t := &Tree{LeafCap: leafCap, Degree: -1}
-	t.Root = buildKeyedRange(ps, ks, box, keys.CellKey{}, leafCap, newNodeArena(len(ps), leafCap))
-	return t
+	return NewBuilder(domain, leafCap).Step(particles)
 }
 
 // BuildSubtreeKeyed is BuildKeyed for the subtree of cell `key` (with

@@ -1,0 +1,120 @@
+package barneshut
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/compute"
+)
+
+// The incremental step path (tree.Builder + flat SoA kernels) and the
+// cold path (from-scratch BuildKeyed + pointer traversal, the pre-
+// incremental code) must produce bit-identical trajectories and
+// simulated metrics: the two-clock rule says host optimizations may only
+// change the wall clock.
+func TestSerialSimIncrementalMatchesCold(t *testing.T) {
+	for _, integ := range []string{"leapfrog", "euler", "yoshida4"} {
+		t.Run(integ, func(t *testing.T) {
+			set := NewPlummer(1500, 1, V3{}, 17)
+			cfg := SerialConfig{Alpha: 0.67, Eps: 0.01, DT: 0.005, Integrator: integ}
+			warm, err := NewSerialSim(set, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldCfg := cfg
+			coldCfg.Cold = true
+			cold, err := NewSerialSim(set, coldCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 6; step++ {
+				ws := warm.Step()
+				cs := cold.Step()
+				if ws != cs {
+					t.Fatalf("step %d: stats differ: warm %+v cold %+v", step, ws, cs)
+				}
+				wb, cb := warm.Bodies(), cold.Bodies()
+				for i := range wb {
+					if wb[i] != cb[i] {
+						t.Fatalf("step %d: body %d differs:\nwarm %+v\ncold %+v", step, i, wb[i], cb[i])
+					}
+				}
+			}
+			if warm.LastBuild().Cold {
+				t.Fatal("warm sim still building cold after 6 steps")
+			}
+			if math.Float64bits(warm.KineticEnergy()) != math.Float64bits(cold.KineticEnergy()) {
+				t.Fatal("kinetic energies diverged")
+			}
+		})
+	}
+}
+
+// Host parallelism must not perturb the incremental path either: the
+// trajectory under multi-worker flat kernels is bit-identical to the
+// single-worker run.
+func TestSerialSimInvariantUnderHostParallelism(t *testing.T) {
+	oldProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(oldProcs)
+
+	run := func(workers int) []Particle {
+		prev := compute.SetMaxWorkers(workers)
+		defer compute.SetMaxWorkers(prev)
+		set := NewPlummer(9000, 1, V3{}, 29)
+		s, err := NewSerialSim(set, SerialConfig{DT: 0.005})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(3)
+		return s.Bodies()
+	}
+
+	serial := run(1)
+	parallel := run(4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("body %d differs across worker counts:\n1: %+v\n4: %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestSerialSimEnergyConservation(t *testing.T) {
+	set := NewPlummer(800, 1, V3{}, 3)
+	s, err := NewSerialSim(set, SerialConfig{Alpha: 0.5, Eps: 0.05, DT: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := s.TotalEnergyDirect()
+	s.Run(25)
+	e1 := s.TotalEnergyDirect()
+	if drift := math.Abs((e1 - e0) / e0); drift > 0.02 {
+		t.Fatalf("energy drift %v over 25 leapfrog steps (E %v -> %v)", drift, e0, e1)
+	}
+	if s.Steps() != 25 || s.Evals() == 0 {
+		t.Fatalf("bookkeeping: steps=%d evals=%d", s.Steps(), s.Evals())
+	}
+}
+
+func TestSerialSimPhasesAccumulate(t *testing.T) {
+	set := NewPlummer(2000, 1, V3{}, 5)
+	s, err := NewSerialSim(set, SerialConfig{DT: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3)
+	ph := s.Phases()
+	if ph.Build <= 0 || ph.Force <= 0 {
+		t.Fatalf("phase clocks not accumulating: %+v", ph)
+	}
+	rep := s.LastBuild()
+	if rep.Cold || rep.N != 2000 {
+		t.Fatalf("unexpected last build report: %+v", rep)
+	}
+}
+
+func TestSerialSimEmptySetRejected(t *testing.T) {
+	if _, err := NewSerialSim(&ParticleSet{}, SerialConfig{}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
