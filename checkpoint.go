@@ -18,20 +18,33 @@ type checkpoint struct {
 	Steps   int
 	Domain  Box
 	Bodies  []Particle
+	// FrameStep (v2) is the frame-store step this state corresponds to:
+	// a frames-aware restorer can seek the job's frame chain to this
+	// step instead of replaying from zero. Zero-valued in v1 streams.
+	FrameStep int64
 }
 
-const checkpointVersion = 1
+// Checkpoint stream versions. v1 predates the frame store; v2 adds
+// FrameStep. Decoding accepts the whole [checkpointMinVersion,
+// checkpointVersion] range — gob fills absent fields with zero values,
+// which is exactly v1's meaning — and anything outside it fails with a
+// version-specific error.
+const (
+	checkpointVersion    = 2
+	checkpointMinVersion = 1
+)
 
 // WriteCheckpoint serializes the simulation state so it can be resumed
 // later with ReadCheckpoint. The stream is a stdlib gob encoding.
 func (s *Simulation) WriteCheckpoint(w io.Writer) error {
 	cp := checkpoint{
-		Version: checkpointVersion,
-		Config:  s.cfg,
-		Time:    s.time,
-		Steps:   s.steps,
-		Domain:  s.domain(),
-		Bodies:  s.Bodies(),
+		Version:   checkpointVersion,
+		Config:    s.cfg,
+		Time:      s.time,
+		Steps:     s.steps,
+		Domain:    s.Domain(),
+		Bodies:    s.Bodies(),
+		FrameStep: s.frameMark,
 	}
 	if err := gob.NewEncoder(w).Encode(cp); err != nil {
 		return fmt.Errorf("barneshut: writing checkpoint: %w", err)
@@ -39,13 +52,14 @@ func (s *Simulation) WriteCheckpoint(w io.Writer) error {
 	return nil
 }
 
-// domain returns the engine's root cell so the restored decomposition
-// anchors to the same cube.
-func (s *Simulation) domain() Box { return s.engine.Domain() }
+// Domain returns the engine's root cell so a restored or snapshotted
+// decomposition anchors to the same cube.
+func (s *Simulation) Domain() Box { return s.engine.Domain() }
 
 // ReadCheckpoint reconstructs a Simulation from a checkpoint stream.
-// It fails with a descriptive error on truncated or corrupt streams and
-// on checkpoints written by a newer version of this package.
+// It fails with a descriptive error on truncated or corrupt streams, on
+// checkpoints written by a newer version of this package, and on
+// versions older than checkpointMinVersion.
 func ReadCheckpoint(r io.Reader) (*Simulation, error) {
 	var cp checkpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
@@ -58,18 +72,41 @@ func ReadCheckpoint(r io.Reader) (*Simulation, error) {
 		return nil, fmt.Errorf("barneshut: checkpoint version %d is newer than the supported version %d (written by a newer release?)",
 			cp.Version, checkpointVersion)
 	}
-	if cp.Version != checkpointVersion {
-		return nil, fmt.Errorf("barneshut: unsupported checkpoint version %d", cp.Version)
-	}
-	if len(cp.Bodies) == 0 {
-		return nil, errors.New("barneshut: checkpoint contains no particles")
+	if cp.Version < checkpointMinVersion {
+		return nil, fmt.Errorf("barneshut: checkpoint version %d predates the oldest supported version %d",
+			cp.Version, checkpointMinVersion)
 	}
 	set := &ParticleSet{Particles: cp.Bodies, Domain: cp.Domain}
-	sim, err := NewSimulation(set, cp.Config)
+	sim, err := RestoreSimulation(set, cp.Config, cp.Time, cp.Steps)
 	if err != nil {
 		return nil, err
 	}
-	sim.time = cp.Time
-	sim.steps = cp.Steps
+	sim.frameMark = cp.FrameStep
 	return sim, nil
 }
+
+// RestoreSimulation rebuilds a mid-run Simulation from authoritative
+// particle state: the engine re-derives its decomposition from the
+// bodies, and the clocks restart at tm/steps. This is the shared core
+// of ReadCheckpoint and the frame-store resume path (a decoded keyframe
+// is exactly such a particle set).
+func RestoreSimulation(set *ParticleSet, cfg Config, tm float64, steps int) (*Simulation, error) {
+	if len(set.Particles) == 0 {
+		return nil, errors.New("barneshut: restore from state with no particles")
+	}
+	sim, err := NewSimulation(set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim.time = tm
+	sim.steps = steps
+	return sim, nil
+}
+
+// SetFrameMark records the frame-store step this simulation state is
+// aligned with; it rides along in v2 checkpoints so a restorer can
+// cross-reference the gob state against the job's frame chain.
+func (s *Simulation) SetFrameMark(step int64) { s.frameMark = step }
+
+// FrameMark returns the last recorded frame-store step.
+func (s *Simulation) FrameMark() int64 { return s.frameMark }

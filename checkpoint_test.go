@@ -94,6 +94,100 @@ func TestCheckpointRejectsFutureVersion(t *testing.T) {
 	}
 }
 
+func TestCheckpointRejectsAncientVersion(t *testing.T) {
+	// A structurally valid stream stamped with a version below
+	// checkpointMinVersion must hit the explicit old-version error path,
+	// not decode as if it were current.
+	cp := checkpoint{
+		Version: checkpointMinVersion - 1,
+		Config:  Config{Processors: 1, Profile: IdealMachine()},
+		Bodies:  NewPlummer(10, 1, V3{}, 5).Particles,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadCheckpoint(&buf)
+	if err == nil {
+		t.Fatal("ancient-version checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "predates") {
+		t.Fatalf("old-version error not descriptive: %v", err)
+	}
+}
+
+func TestCheckpointAcceptsV1(t *testing.T) {
+	// v1 streams (no FrameStep field) must keep decoding: gob leaves the
+	// absent field zero, which is v1's meaning.
+	cp := checkpoint{
+		Version: 1,
+		Config:  Config{Processors: 2, Profile: IdealMachine(), DT: 0.01},
+		Time:    0.05,
+		Steps:   5,
+		Bodies:  NewPlummer(40, 1, V3{}, 6).Particles,
+	}
+	cp.Domain = NewPlummer(40, 1, V3{}, 6).Domain
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if sim.Steps() != 5 || sim.FrameMark() != 0 {
+		t.Fatalf("v1 restore: steps=%d frameMark=%d", sim.Steps(), sim.FrameMark())
+	}
+}
+
+func TestCheckpointFrameMarkRoundTrip(t *testing.T) {
+	set := NewPlummer(60, 1, V3{}, 25)
+	sim, err := NewSimulation(set, Config{Profile: IdealMachine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2)
+	sim.SetFrameMark(17)
+	var buf bytes.Buffer
+	if err := sim.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.FrameMark() != 17 {
+		t.Fatalf("FrameMark = %d after round trip, want 17", restored.FrameMark())
+	}
+}
+
+func TestRestoreSimulation(t *testing.T) {
+	set := NewPlummer(80, 1, V3{}, 26)
+	src, err := NewSimulation(set, Config{Processors: 2, Profile: IdealMachine(), DT: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Run(4)
+	state := &ParticleSet{Particles: src.Bodies(), Domain: src.Domain()}
+	restored, err := RestoreSimulation(state, src.Config(), src.Time(), src.Steps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Steps() != src.Steps() || restored.Time() != src.Time() {
+		t.Fatalf("clock mismatch after restore: %d/%v vs %d/%v",
+			restored.Steps(), restored.Time(), src.Steps(), src.Time())
+	}
+	a, b := src.Bodies(), restored.Bodies()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("body %d differs after restore", i)
+		}
+	}
+	if _, err := RestoreSimulation(&ParticleSet{}, src.Config(), 0, 0); err == nil {
+		t.Fatal("empty restore accepted")
+	}
+}
+
 func TestCheckpointRejectsTruncated(t *testing.T) {
 	set := NewPlummer(100, 1, V3{}, 23)
 	sim, err := NewSimulation(set, Config{Profile: IdealMachine()})

@@ -12,7 +12,8 @@
 // Known ids: 1..7, fig9, kw (Section 4.1), ship (Section 4.2),
 // binsize, lookup, ordering, treebuild (ablations), serial (host
 // wall-clock of the serial kernels — real seconds, not simulated),
-// incremental (cold vs incremental step path, also host wall-clock).
+// incremental (cold vs incremental step path, also host wall-clock),
+// frames (columnar frame-store append/replay/compact, host wall-clock).
 //
 // -cpuprofile/-memprofile write pprof profiles of the host process, for
 // digging into where the compute layer spends real time and memory.

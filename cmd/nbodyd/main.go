@@ -13,7 +13,7 @@
 //	GET  /api/v1/jobs/{id}        inspect  GET /api/v1/jobs/{id}/stream NDJSON
 //	POST /api/v1/jobs/{id}/cancel cancel   GET /api/v1/jobs/{id}/result result
 //	GET  /api/v1/jobs/{id}/trace  trace    GET /metrics                metrics
-//	GET  /healthz                 liveness
+//	GET  /api/v1/jobs/{id}/frames replay   GET /healthz                liveness
 //
 // With -debug-addr set, a second private listener serves Go's pprof
 // handlers under /debug/pprof/; they are never mounted on the public
@@ -58,6 +58,8 @@ func main() {
 		queue     = flag.Int("queue", 16, "queued-job bound beyond running jobs (beyond it: 429)")
 		spool     = flag.String("spool", "", "spool directory for checkpoint-backed resume (empty disables)")
 		ckptEvery = flag.Int("checkpoint-every", 10, "steps between periodic job checkpoints")
+		frKey     = flag.Int("frames-key-every", 16, "keyframe cadence of per-job frame chains (needs -spool; negative disables frame capture)")
+		frBytes   = flag.Int64("frames-max-bytes", 64<<20, "per-job frame chain byte budget before compaction thins old deltas (0 = unbounded)")
 		drain     = flag.Duration("drain", 30*time.Second, "max time to wait for workers on shutdown")
 		cListen   = flag.String("cluster-listen", "127.0.0.1:0", "cluster coordinator listen address (with -cluster-workers)")
 		cWorkers  = flag.Int("cluster-workers", 0, "nbodyworker processes to wait for; 0 disables the tcp transport")
@@ -82,6 +84,8 @@ func main() {
 		QueueDepth:      *queue,
 		SpoolDir:        *spool,
 		CheckpointEvery: *ckptEvery,
+		FramesKeyEvery:  *frKey,
+		FramesMaxBytes:  *frBytes,
 		MaxRetries:      *jRetries,
 		RetryBackoff:    *jBackoff,
 		// The service layer speaks printf; route its lines through the

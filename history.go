@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // HistoryEntry is one recorded time-step of a simulation.
@@ -54,18 +55,22 @@ func (h *History) WriteCSV(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
+	// Floats are written with strconv's shortest-uniquely-parsing form
+	// ('g', precision -1): unlike %g, which rounds to 6 significant
+	// digits, every value round-trips through ParseFloat bit-exactly.
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, e := range h.Entries {
 		rec := []string{
 			fmt.Sprint(e.Step),
-			fmt.Sprintf("%g", e.Time),
-			fmt.Sprintf("%g", e.SimTime),
-			fmt.Sprintf("%g", e.Efficiency),
-			fmt.Sprintf("%g", e.Imbalance),
+			g(e.Time),
+			g(e.SimTime),
+			g(e.Efficiency),
+			g(e.Imbalance),
 			fmt.Sprint(e.CommWords),
 			fmt.Sprint(e.MACTests),
 			fmt.Sprint(e.PC),
 			fmt.Sprint(e.PP),
-			fmt.Sprintf("%g", e.Kinetic),
+			g(e.Kinetic),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

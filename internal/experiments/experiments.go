@@ -281,6 +281,7 @@ func All(opt Options) ([]Table, error) {
 		{"fmm", FMMTable},
 		{"serial", SerialTable},
 		{"incremental", IncrementalTable},
+		{"frames", FramesTable},
 		{"transport", TransportTable},
 		{"faults", FaultsTable},
 		{"loadbalance", LoadBalanceTable},
@@ -317,6 +318,7 @@ func ByID(id string) (func(Options) (Table, error), bool) {
 		"fmm":         FMMTable,
 		"serial":      SerialTable,
 		"incremental": IncrementalTable,
+		"frames":      FramesTable,
 		"transport":   TransportTable,
 		"faults":      FaultsTable,
 		"loadbalance": LoadBalanceTable,

@@ -21,8 +21,8 @@ import (
 func SerialTable(opt Options) (Table, error) {
 	opt = opt.withDefaults()
 	tab := Table{
-		ID:      "serial",
-		Title:   "host wall-clock of serial kernels (real seconds, not simulated)",
+		ID:    "serial",
+		Title: "host wall-clock of serial kernels (real seconds, not simulated)",
 		Columns: []string{"n", "gomaxprocs", "build_ms", "keyed_build_ms", "force_ms", "interactions",
 			"step_ms", "step_build_ms", "step_sort_ms", "step_force_ms", "step_int_ms"},
 		Notes: []string{

@@ -41,9 +41,10 @@ type agentSession struct {
 
 	writeMu sync.Mutex // one frame at a time on the wire
 
-	mu     sync.Mutex
-	jobs   map[uint64]string // lease → local job ID
-	closed bool
+	mu      sync.Mutex
+	jobs    map[uint64]string // lease → local job ID
+	byLocal map[string]uint64 // local job ID → lease (keyframe hook lookup)
+	closed  bool
 }
 
 // Run connects to the gateway and serves assignments until stop
@@ -90,8 +91,25 @@ func (a *Agent) session(stop <-chan struct{}) error {
 	if err != nil {
 		return fmt.Errorf("dial gateway %s: %w", a.Gateway, err)
 	}
-	s := &agentSession{agent: a, conn: conn, jobs: make(map[uint64]string)}
+	s := &agentSession{agent: a, conn: conn, jobs: make(map[uint64]string), byLocal: make(map[string]uint64)}
 	defer s.close()
+
+	// Replicate frame-store keyframes of leased jobs to the gateway: if
+	// this shard dies, the gateway re-routes each job with its latest
+	// keyframe and the replacement shard resumes mid-run. Keyframes of
+	// purely local jobs have no lease and are skipped. The hook runs on
+	// worker goroutines; a send failure here is ignored — the session
+	// read loop notices the dead connection and re-registers.
+	a.Svc.SetFrameHook(func(jobID string, step int64, rec []byte) {
+		s.mu.Lock()
+		lease, ok := s.byLocal[jobID]
+		s.mu.Unlock()
+		if !ok {
+			return
+		}
+		s.send(Keyframe{Lease: lease, JobID: jobID, Step: step, Data: rec})
+	})
+	defer a.Svc.SetFrameHook(nil)
 
 	if err := s.send(Hello{Name: a.Name, HTTPAddr: a.HTTPAddr, Capacity: int32(a.Capacity)}); err != nil {
 		return fmt.Errorf("hello: %w", err)
@@ -208,15 +226,26 @@ func (s *agentSession) handleAssign(msg Assign) {
 		s.send(Accept{Lease: msg.Lease, JobID: msg.JobID, Err: fmt.Sprintf("decoding spec: %v", err)})
 		return
 	}
-	st, err := s.agent.Svc.Submit(spec)
+	var st service.Status
+	var err error
+	if len(msg.Keyframe) > 0 {
+		// A re-routed job with a replicated keyframe: resume from it.
+		// SubmitSeeded degrades to a from-scratch run on any problem with
+		// the seed, so the assignment never bounces over a stale frame.
+		st, err = s.agent.Svc.SubmitSeeded(spec, msg.Keyframe)
+	} else {
+		st, err = s.agent.Svc.Submit(spec)
+	}
 	if err != nil {
 		s.send(Accept{Lease: msg.Lease, JobID: msg.JobID, Err: err.Error()})
 		return
 	}
 	s.mu.Lock()
 	s.jobs[msg.Lease] = st.ID
+	s.byLocal[st.ID] = msg.Lease
 	s.mu.Unlock()
-	s.send(Accept{Lease: msg.Lease, JobID: msg.JobID, LocalID: st.ID})
+	s.send(Accept{Lease: msg.Lease, JobID: msg.JobID, LocalID: st.ID,
+		ResumedStep: int64(st.ResumedFrom)})
 	go s.forward(msg.Lease, msg.JobID, st.ID)
 }
 
@@ -238,6 +267,7 @@ func (s *agentSession) forward(lease uint64, jobID, localID string) {
 	defer func() {
 		s.mu.Lock()
 		delete(s.jobs, lease)
+		delete(s.byLocal, localID)
 		s.mu.Unlock()
 	}()
 	ch, unsub, err := s.agent.Svc.Subscribe(localID)
@@ -319,6 +349,7 @@ func (s *agentSession) close() {
 		locals = append(locals, id)
 	}
 	s.jobs = make(map[uint64]string)
+	s.byLocal = make(map[string]uint64)
 	s.mu.Unlock()
 	for _, id := range locals {
 		s.agent.Svc.Cancel(id)

@@ -56,6 +56,15 @@ type fleet struct {
 // registration.
 func startFleet(t *testing.T, n int, opt Options, capacity int) *fleet {
 	t.Helper()
+	return startFleetWith(t, n, opt, capacity, func(int) service.Options {
+		return service.Options{Workers: 2, QueueDepth: 16, Logf: t.Logf}
+	})
+}
+
+// startFleetWith is startFleet with per-shard service options (e.g. a
+// spool + frame cadence for keyframe-handoff tests).
+func startFleetWith(t *testing.T, n int, opt Options, capacity int, svcOpt func(i int) service.Options) *fleet {
+	t.Helper()
 	opt.ControlAddr = "127.0.0.1:0"
 	if opt.Logf == nil {
 		opt.Logf = t.Logf
@@ -70,7 +79,7 @@ func startFleet(t *testing.T, n int, opt Options, capacity int) *fleet {
 		gw.Close()
 	})
 	for i := 0; i < n; i++ {
-		svc, err := service.New(service.Options{Workers: 2, QueueDepth: 16, Logf: t.Logf})
+		svc, err := service.New(svcOpt(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,10 +90,16 @@ func startFleet(t *testing.T, n int, opt Options, capacity int) *fleet {
 			defer cancel()
 			svc.Shutdown(ctx)
 		})
+		// Each shard serves its own HTTP API like a real nbodyd would;
+		// the advertised address is what the gateway's frames proxy
+		// dials.
+		shardSrv := httptest.NewServer(svc.Handler())
+		t.Cleanup(shardSrv.Close)
 		agent := &Agent{
 			Svc:      svc,
 			Gateway:  gw.ControlAddr(),
 			Name:     fmt.Sprintf("s%d", i),
+			HTTPAddr: strings.TrimPrefix(shardSrv.URL, "http://"),
 			Capacity: capacity,
 			Logf:     t.Logf,
 		}

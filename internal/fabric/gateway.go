@@ -135,6 +135,18 @@ type GwJob struct {
 	shard   *shardConn
 	localID string
 
+	// Keyframe replication: the latest frame-store keyframe streamed back
+	// by the job's shard, carried out with the next Assign after a
+	// re-route so the replacement shard resumes mid-run. resumedStep is
+	// what the current shard reported actually restoring (0 = scratch).
+	// framesAddr is the HTTP address of the shard that ran (or runs) the
+	// job — unlike the lease it survives completion, so the frames
+	// replay proxy still has a target after Done clears the shard.
+	keyframe     []byte
+	keyframeStep int64
+	resumedStep  int
+	framesAddr   string
+
 	finishTag float64 // WFQ virtual finish time
 	progress  json.RawMessage
 	result    json.RawMessage
@@ -158,6 +170,10 @@ type GwStatus struct {
 	Created   time.Time       `json:"created"`
 	Spec      service.JobSpec `json:"spec"`
 	Progress  json.RawMessage `json:"progress,omitempty"`
+	// ResumedStep is the completed-step count the job's current shard
+	// restored from a replicated keyframe after a re-route; 0 means the
+	// run started (or re-started) from scratch.
+	ResumedStep int `json:"resumed_step,omitempty"`
 }
 
 // ShardStatus is one row of the fleet view.
@@ -445,6 +461,8 @@ func (g *Gateway) handleControl(sc *shardConn, v any) {
 		g.handleUpdate(sc, msg)
 	case Done:
 		g.handleDone(sc, msg)
+	case Keyframe:
+		g.handleKeyframe(sc, msg)
 	default:
 		g.opt.Logf("nbodygw: unexpected control message %T from shard %s", v, sc.name)
 	}
@@ -463,11 +481,35 @@ func (g *Gateway) handleAccept(sc *shardConn, msg Accept) {
 	}
 	if msg.Err == "" {
 		j.localID = msg.LocalID
+		j.framesAddr = sc.httpAddr
+		j.resumedStep = int(msg.ResumedStep)
+		if msg.ResumedStep > 0 {
+			g.metrics.JobsResumedFromFrame.Add(1)
+			g.opt.Logf("nbodygw: shard %s resumed job %s from keyframe step %d", sc.name, j.ID, msg.ResumedStep)
+		}
 		return
 	}
 	g.opt.Logf("nbodygw: shard %s refused job %s: %s", sc.name, j.ID, msg.Err)
 	g.requeueLocked(j, "admission")
 	g.dispatchLocked()
+}
+
+// handleKeyframe stores the latest replicated keyframe for a leased
+// job. Only the newest frame matters — resume wants the furthest safe
+// restart point — so each arrival replaces the last.
+func (g *Gateway) handleKeyframe(sc *shardConn, msg Keyframe) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j := sc.leases[msg.Lease]
+	if j == nil || j.lease != msg.Lease {
+		return // stale: the job was re-routed already
+	}
+	if msg.Step <= j.keyframeStep && j.keyframe != nil {
+		return // out-of-order replication; keep the newer frame
+	}
+	j.keyframe = append([]byte(nil), msg.Data...)
+	j.keyframeStep = msg.Step
+	g.metrics.KeyframesReplicated.Add(1)
 }
 
 // handleUpdate forwards a progress snapshot onto the gateway job.
@@ -844,7 +886,8 @@ func (g *Gateway) dispatchLocked() {
 		g.metrics.JobsLeased.Add(1)
 		g.metrics.Routed.Add(sc.name, 1)
 		g.metrics.RouteSeconds.Observe(g.opt.Now().Sub(j.created).Seconds())
-		if err := g.enqueue(sc, Assign{Lease: lease, JobID: j.ID, SpecJSON: j.specJSON}); err != nil {
+		if err := g.enqueue(sc, Assign{Lease: lease, JobID: j.ID, SpecJSON: j.specJSON,
+			ResumeStep: j.keyframeStep, Keyframe: j.keyframe}); err != nil {
 			if errors.Is(err, errSendQueueFull) {
 				// A stalled shard is failed in place (g.mu is held, so
 				// the unlocked shardFailed wrapper would self-deadlock);
@@ -955,6 +998,8 @@ func (g *Gateway) Cancel(id string) (GwStatus, error) {
 			leader.coalesced = false
 			leader.lease, leader.shard, leader.localID = j.lease, j.shard, j.localID
 			leader.specJSON = j.specJSON
+			leader.keyframe, leader.keyframeStep = j.keyframe, j.keyframeStep
+			leader.resumedStep, leader.framesAddr = j.resumedStep, j.framesAddr
 			j.shard.leases[j.lease] = leader
 			g.inflight[j.Key] = leader
 			j.followers = nil
@@ -978,6 +1023,7 @@ func (g *Gateway) Cancel(id string) (GwStatus, error) {
 		leader.coalesced = false
 		leader.state = service.StateQueued
 		leader.specJSON = j.specJSON
+		leader.keyframe, leader.keyframeStep = j.keyframe, j.keyframeStep
 		leader.finishTag = j.finishTag
 		g.inflight[j.Key] = leader
 		g.tenantFor(j.Tenant).replaceQueued(j, leader)
@@ -1025,17 +1071,18 @@ func (g *Gateway) Shards() []ShardStatus {
 
 func (g *Gateway) statusLocked(j *GwJob) GwStatus {
 	st := GwStatus{
-		ID:        j.ID,
-		Tenant:    j.Tenant,
-		Key:       j.Key,
-		State:     j.state,
-		Error:     j.errMsg,
-		Cached:    j.cached,
-		Coalesced: j.coalesced,
-		Retries:   j.retries,
-		Created:   j.created,
-		Spec:      j.Spec,
-		Progress:  j.progress,
+		ID:          j.ID,
+		Tenant:      j.Tenant,
+		Key:         j.Key,
+		State:       j.state,
+		Error:       j.errMsg,
+		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		Retries:     j.retries,
+		Created:     j.created,
+		Spec:        j.Spec,
+		Progress:    j.progress,
+		ResumedStep: j.resumedStep,
 	}
 	if j.shard != nil {
 		st.Shard = j.shard.name

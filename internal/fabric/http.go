@@ -121,6 +121,13 @@ func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			w.Write(res)
 		}
+	case "frames":
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+			return
+		}
+		g.proxyFrames(w, r, id)
 	case "cancel":
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", "POST")
@@ -138,6 +145,69 @@ func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 	default:
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown action %q", action))
+	}
+}
+
+// proxyFrames streams the frame-store replay endpoint of the shard that
+// holds (or held) a gateway job. The gateway owns no frame data itself
+// beyond the single replicated resume keyframe, so replay is proxied to
+// the shard's own HTTP API, preserving the query string and the Accept
+// header; the body is copied through without buffering so tail-follow
+// streams work end to end.
+func (g *Gateway) proxyFrames(w http.ResponseWriter, r *http.Request, id string) {
+	g.mu.Lock()
+	j, ok := g.jobs[id]
+	if !ok {
+		g.mu.Unlock()
+		writeErr(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	addr, localID := j.framesAddr, j.localID
+	g.mu.Unlock()
+	if addr == "" || localID == "" {
+		writeErr(w, http.StatusConflict,
+			fmt.Errorf("fabric: job %s has no shard frame store to replay from (never accepted by a shard, or the shard advertises no HTTP address)", id))
+		return
+	}
+	target := "http://" + addr + "/api/v1/jobs/" + localID + "/frames"
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target, nil)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("building shard request: %w", err))
+		return
+	}
+	if accept := r.Header.Get("Accept"); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, fmt.Errorf("reaching shard frame store: %w", err))
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	// Flush eagerly: tail-follow replays emit one line per simulation
+	// step and the client wants each as it lands, not a buffered burst.
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
 	}
 }
 

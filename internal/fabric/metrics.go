@@ -96,6 +96,13 @@ type Metrics struct {
 	JobsLeased    atomic.Int64 // gauge: leased to a shard right now
 	Shards        atomic.Int64 // gauge: registered shards
 
+	// KeyframesReplicated counts frame-store keyframes shards streamed
+	// back for leased jobs; JobsResumedFromFrame counts accepted
+	// assignments a shard actually restored from such a keyframe (i.e.
+	// re-routed jobs that skipped replaying from step zero).
+	KeyframesReplicated  atomic.Int64
+	JobsResumedFromFrame atomic.Int64
+
 	// Routed counts lease grants by shard name; Rerouted counts
 	// re-queues of leased jobs by the TransportError fault kind that
 	// killed their shard; Admitted/Rejected count per-tenant admission
@@ -132,18 +139,20 @@ func NewMetrics(now time.Time) *Metrics {
 // the labeled families, then the histogram.
 func (m *Metrics) Render(now time.Time) string {
 	rows := map[string]string{
-		"nbodygw_jobs_submitted_total": fmt.Sprintf("%d", m.JobsSubmitted.Load()),
-		"nbodygw_jobs_invalid_total":   fmt.Sprintf("%d", m.JobsInvalid.Load()),
-		"nbodygw_jobs_rejected_total":  fmt.Sprintf("%d", m.JobsRejected.Load()),
-		"nbodygw_jobs_done_total":      fmt.Sprintf("%d", m.JobsDone.Load()),
-		"nbodygw_jobs_failed_total":    fmt.Sprintf("%d", m.JobsFailed.Load()),
-		"nbodygw_jobs_canceled_total":  fmt.Sprintf("%d", m.JobsCanceled.Load()),
-		"nbodygw_cache_hits_total":     fmt.Sprintf("%d", m.CacheHits.Load()),
-		"nbodygw_jobs_coalesced_total": fmt.Sprintf("%d", m.Coalesced.Load()),
-		"nbodygw_jobs_pending":         fmt.Sprintf("%d", m.JobsPending.Load()),
-		"nbodygw_jobs_leased":          fmt.Sprintf("%d", m.JobsLeased.Load()),
-		"nbodygw_shards_connected":     fmt.Sprintf("%d", m.Shards.Load()),
-		"nbodygw_uptime_seconds":       fmt.Sprintf("%.3f", now.Sub(m.start).Seconds()),
+		"nbodygw_jobs_submitted_total":          fmt.Sprintf("%d", m.JobsSubmitted.Load()),
+		"nbodygw_jobs_invalid_total":            fmt.Sprintf("%d", m.JobsInvalid.Load()),
+		"nbodygw_jobs_rejected_total":           fmt.Sprintf("%d", m.JobsRejected.Load()),
+		"nbodygw_jobs_done_total":               fmt.Sprintf("%d", m.JobsDone.Load()),
+		"nbodygw_jobs_failed_total":             fmt.Sprintf("%d", m.JobsFailed.Load()),
+		"nbodygw_jobs_canceled_total":           fmt.Sprintf("%d", m.JobsCanceled.Load()),
+		"nbodygw_cache_hits_total":              fmt.Sprintf("%d", m.CacheHits.Load()),
+		"nbodygw_jobs_coalesced_total":          fmt.Sprintf("%d", m.Coalesced.Load()),
+		"nbodygw_jobs_pending":                  fmt.Sprintf("%d", m.JobsPending.Load()),
+		"nbodygw_jobs_leased":                   fmt.Sprintf("%d", m.JobsLeased.Load()),
+		"nbodygw_shards_connected":              fmt.Sprintf("%d", m.Shards.Load()),
+		"nbodygw_uptime_seconds":                fmt.Sprintf("%.3f", now.Sub(m.start).Seconds()),
+		"nbodygw_keyframes_replicated_total":    fmt.Sprintf("%d", m.KeyframesReplicated.Load()),
+		"nbodygw_jobs_resumed_from_frame_total": fmt.Sprintf("%d", m.JobsResumedFromFrame.Load()),
 	}
 	names := make([]string, 0, len(rows))
 	for name := range rows {

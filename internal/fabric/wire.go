@@ -29,15 +29,16 @@ import (
 // process-independent, and must never be reused for a different
 // encoding.
 const (
-	idHello   uint16 = 61
-	idWelcome uint16 = 62
-	idAssign  uint16 = 63
-	idAccept  uint16 = 64
-	idUpdate  uint16 = 65
-	idDone    uint16 = 66
-	idPing    uint16 = 67
-	idPong    uint16 = 68
-	idCancel  uint16 = 69
+	idHello    uint16 = 61
+	idWelcome  uint16 = 62
+	idAssign   uint16 = 63
+	idAccept   uint16 = 64
+	idUpdate   uint16 = 65
+	idDone     uint16 = 66
+	idPing     uint16 = 67
+	idPong     uint16 = 68
+	idCancel   uint16 = 69
+	idKeyframe uint16 = 70
 )
 
 // Hello is a shard's registration: its human name, the HTTP address its
@@ -64,19 +65,30 @@ type Welcome struct {
 
 // Assign leases one job to a shard. SpecJSON is the canonicalized
 // service.JobSpec; the shard re-validates it on its own admission path.
+// When the gateway holds a replicated keyframe for the job — it was
+// leased before, and its previous shard streamed frame-store keyframes
+// back before dying — Keyframe carries that frame-store keyframe record
+// and ResumeStep its step, so the new shard resumes mid-run instead of
+// replaying from zero.
 type Assign struct {
-	Lease    uint64
-	JobID    string
-	SpecJSON []byte
+	Lease      uint64
+	JobID      string
+	SpecJSON   []byte
+	ResumeStep int64
+	Keyframe   []byte
 }
 
 // Accept is the shard's admission verdict for an Assign: the local job
 // ID it minted, or the admission error (queue full, invalid spec).
+// ResumedStep reports the completed-step count the shard actually
+// restored from an Assign keyframe (0 = started from scratch — a shard
+// that cannot use the seed degrades rather than refuses).
 type Accept struct {
-	Lease   uint64
-	JobID   string
-	LocalID string
-	Err     string
+	Lease       uint64
+	JobID       string
+	LocalID     string
+	Err         string
+	ResumedStep int64
 }
 
 // Update is a progress snapshot for a leased job; ProgressJSON is the
@@ -110,6 +122,18 @@ type Cancel struct {
 	JobID string
 }
 
+// Keyframe replicates one frame-store keyframe of a leased job from its
+// shard to the gateway. The gateway keeps only the latest per job; if
+// the shard dies, the next Assign for the job carries it back out so
+// the replacement shard resumes from Step instead of step zero. Data is
+// a self-contained frames keyframe record (frames.DecodeKeyframe).
+type Keyframe struct {
+	Lease uint64
+	JobID string
+	Step  int64
+	Data  []byte
+}
+
 func init() {
 	transport.Register(idHello,
 		func(w *transport.Writer, v Hello) {
@@ -134,9 +158,12 @@ func init() {
 			w.U64(v.Lease)
 			w.Str(v.JobID)
 			w.Raw(v.SpecJSON)
+			w.I64(v.ResumeStep)
+			w.Raw(v.Keyframe)
 		},
 		func(r *transport.Reader) (Assign, error) {
-			return Assign{Lease: r.U64(), JobID: r.Str(), SpecJSON: r.Raw()}, r.Err()
+			return Assign{Lease: r.U64(), JobID: r.Str(), SpecJSON: r.Raw(),
+				ResumeStep: r.I64(), Keyframe: r.Raw()}, r.Err()
 		})
 	transport.Register(idAccept,
 		func(w *transport.Writer, v Accept) {
@@ -144,9 +171,11 @@ func init() {
 			w.Str(v.JobID)
 			w.Str(v.LocalID)
 			w.Str(v.Err)
+			w.I64(v.ResumedStep)
 		},
 		func(r *transport.Reader) (Accept, error) {
-			return Accept{Lease: r.U64(), JobID: r.Str(), LocalID: r.Str(), Err: r.Str()}, r.Err()
+			return Accept{Lease: r.U64(), JobID: r.Str(), LocalID: r.Str(), Err: r.Str(),
+				ResumedStep: r.I64()}, r.Err()
 		})
 	transport.Register(idUpdate,
 		func(w *transport.Writer, v Update) {
@@ -182,6 +211,16 @@ func init() {
 		},
 		func(r *transport.Reader) (Cancel, error) {
 			return Cancel{Lease: r.U64(), JobID: r.Str()}, r.Err()
+		})
+	transport.Register(idKeyframe,
+		func(w *transport.Writer, v Keyframe) {
+			w.U64(v.Lease)
+			w.Str(v.JobID)
+			w.I64(v.Step)
+			w.Raw(v.Data)
+		},
+		func(r *transport.Reader) (Keyframe, error) {
+			return Keyframe{Lease: r.U64(), JobID: r.Str(), Step: r.I64(), Data: r.Raw()}, r.Err()
 		})
 }
 

@@ -1,0 +1,498 @@
+// Package frames is the columnar frame store: the time-series output
+// layer of the simulation service. A frame file is an append-only chain
+// of CRC-framed records — the same length-prefix-then-validate
+// discipline as the transport wire format — holding per-field particle
+// columns (positions, velocities, mass as contiguous []float64, the
+// same structure-of-arrays transposition dist.Particles uses in RAM)
+// plus a per-frame metrics header that is a superset of the root
+// package's HistoryEntry.
+//
+// Keyframes carry full columns; the frames between two keyframes are
+// delta-encoded as XOR-of-Float64bits against the previous frame.
+// Small-displacement steps share sign, exponent, and the high mantissa
+// bits with their predecessor, so the XOR image is mostly leading-zero
+// bytes and packs hard — while round-tripping bit-identically, which is
+// what lets a resumed job replay to the same GOLDEN simulated metrics
+// as an uninterrupted one.
+//
+// Layout:
+//
+//	magic "NBF1"
+//	record := [u32 bodyLen][u8 kind][body][u32 crc32c(kind||body)]
+//	  kind 1 keyframe: meta | u32 n | id[n]i32 | 7 × col[n]f64
+//	  kind 2 delta:    meta | u32 n | idTag(+ids) | 7 × packed column
+//	  kind 3 index:    u32 count | count × (i64 step, i64 offset)
+//	trailer (after the index record, clean close only):
+//	  [i64 indexOffset][u32 crc32c(indexOffset)][u32 "NBFX"]
+//
+// A torn tail — a record cut short by a crash, or one whose CRC fails
+// at end-of-file — is detected and dropped, never poisoning the chain;
+// everything before it reads clean. The index record plus trailer give
+// clean-close opens an O(log n) seek-to-step; crashed files rebuild the
+// index with one forward scan.
+package frames
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/vec"
+)
+
+// File framing constants.
+const (
+	magic        = "NBF1"
+	trailerMagic = 0x5846424E // "NBFX" little-endian
+	headerLen    = 5          // u32 bodyLen + u8 kind
+	crcLen       = 4
+	trailerLen   = 16 // i64 index offset + u32 crc + u32 magic
+
+	recKeyframe = 1
+	recDelta    = 2
+	recIndex    = 3
+
+	// MaxRecord bounds one record body before any allocation, exactly as
+	// transport.MaxFrame bounds a wire frame: a corrupt length prefix
+	// must never become a giant allocation.
+	MaxRecord = 256 << 20
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms this runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Magic returns the file magic, for callers emitting a frame stream
+// over a transport other than a file (the replay API's binary mode).
+func Magic() []byte { return []byte(magic) }
+
+// ErrCorrupt reports a structurally invalid record in the middle of a
+// frame file (a failed CRC or malformed body that cannot be a torn
+// tail). Tails cut short by a crash are not corruption; they are
+// silently dropped on open and reported as io.EOF when streaming.
+var ErrCorrupt = errors.New("frames: corrupt record")
+
+// Meta is the per-frame metrics header: the job's clock state plus the
+// last step's simulated-machine measurements, a superset of the root
+// package's HistoryEntry. MachineTime is the cumulative simulated
+// machine seconds across completed steps — restoring the accumulator
+// from here preserves the floating-point summation order, so a resumed
+// job's final MachineTime is bit-equal to an uninterrupted run's.
+type Meta struct {
+	Step        int64
+	Time        float64
+	SimTime     float64
+	MachineTime float64
+	Energy      float64
+	Efficiency  float64
+	Imbalance   float64
+	CommWords   int64
+	MACTests    int64
+	PC          int64
+	PP          int64
+	Domain      vec.Box
+}
+
+// metaLen is the fixed encoded size of Meta: 11 scalar fields plus the
+// 6 floats of the domain box, 8 bytes each.
+const metaLen = 17 * 8
+
+// Frame is one decoded frame: its metrics header and the particle
+// columns, in the same structure-of-arrays layout the compute kernels
+// iterate.
+type Frame struct {
+	Meta  Meta
+	Parts dist.Particles
+}
+
+// numCols is the number of float64 columns per frame (mass, pos, vel).
+const numCols = 7
+
+// cols returns the frame's float64 columns in serialization order.
+func (f *Frame) cols() [numCols]*[]float64 {
+	p := &f.Parts
+	return [numCols]*[]float64{&p.Mass, &p.PosX, &p.PosY, &p.PosZ, &p.VelX, &p.VelY, &p.VelZ}
+}
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendMeta encodes the fixed-size metrics header.
+func appendMeta(b []byte, m *Meta) []byte {
+	b = appendU64(b, uint64(m.Step))
+	b = appendF64(b, m.Time)
+	b = appendF64(b, m.SimTime)
+	b = appendF64(b, m.MachineTime)
+	b = appendF64(b, m.Energy)
+	b = appendF64(b, m.Efficiency)
+	b = appendF64(b, m.Imbalance)
+	b = appendU64(b, uint64(m.CommWords))
+	b = appendU64(b, uint64(m.MACTests))
+	b = appendU64(b, uint64(m.PC))
+	b = appendU64(b, uint64(m.PP))
+	b = appendF64(b, m.Domain.Min.X)
+	b = appendF64(b, m.Domain.Min.Y)
+	b = appendF64(b, m.Domain.Min.Z)
+	b = appendF64(b, m.Domain.Max.X)
+	b = appendF64(b, m.Domain.Max.Y)
+	b = appendF64(b, m.Domain.Max.Z)
+	return b
+}
+
+// cursor is a bounds-checked little-endian reader over one record body.
+// Every getter reports failure through ok so decode paths cannot read
+// past the body regardless of how mangled the input is.
+type cursor struct {
+	b   []byte
+	off int
+	ok  bool
+}
+
+func newCursor(b []byte) *cursor { return &cursor{b: b, ok: true} }
+
+func (c *cursor) u8() byte {
+	if !c.ok || c.off+1 > len(c.b) {
+		c.ok = false
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if !c.ok || c.off+4 > len(c.b) {
+		c.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if !c.ok || c.off+8 > len(c.b) {
+		c.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+// take returns the next n raw bytes of the body.
+func (c *cursor) take(n int) []byte {
+	if !c.ok || n < 0 || c.off+n > len(c.b) {
+		c.ok = false
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
+// remaining is the unread byte count, for exact-size validation.
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+// readMeta decodes the fixed-size metrics header.
+func (c *cursor) readMeta(m *Meta) {
+	m.Step = int64(c.u64())
+	m.Time = c.f64()
+	m.SimTime = c.f64()
+	m.MachineTime = c.f64()
+	m.Energy = c.f64()
+	m.Efficiency = c.f64()
+	m.Imbalance = c.f64()
+	m.CommWords = int64(c.u64())
+	m.MACTests = int64(c.u64())
+	m.PC = int64(c.u64())
+	m.PP = int64(c.u64())
+	m.Domain.Min.X = c.f64()
+	m.Domain.Min.Y = c.f64()
+	m.Domain.Min.Z = c.f64()
+	m.Domain.Max.X = c.f64()
+	m.Domain.Max.Y = c.f64()
+	m.Domain.Max.Z = c.f64()
+}
+
+// finishRecord wraps an encoded body (starting at body[bodyStart:]) into
+// a complete record in place: the caller reserves headerLen bytes, and
+// finishRecord fills the header and appends the CRC. The CRC covers the
+// kind byte and the body, so neither can be flipped undetected.
+func finishRecord(buf []byte, kind byte) []byte {
+	body := buf[headerLen:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(body)))
+	buf[4] = kind
+	crc := crc32.Update(0, crcTable, buf[4:])
+	return appendU32(buf, crc)
+}
+
+// appendKeyframe encodes a full-column keyframe record onto b.
+func appendKeyframe(b []byte, f *Frame) []byte {
+	start := len(b)
+	b = append(b, make([]byte, headerLen)...)
+	b = appendMeta(b, &f.Meta)
+	n := f.Parts.Len()
+	b = appendU32(b, uint32(n))
+	for _, id := range f.Parts.ID {
+		b = appendU32(b, uint32(id))
+	}
+	for _, col := range f.cols() {
+		for _, v := range *col {
+			b = appendF64(b, v)
+		}
+	}
+	return append(b[:start], finishRecord(b[start:], recKeyframe)...)
+}
+
+// Column delta tags.
+const (
+	colSame   = 0 // column bit-identical to the previous frame
+	colPacked = 1 // per-value significant-byte packing of the XOR image
+)
+
+// appendDelta encodes f as an XOR delta against prev. The two frames
+// must have equal particle counts (the writer keyframes on any count
+// change). Each float64 column is XORed bit-wise with its predecessor;
+// the image of a slightly-moved particle has zero sign/exponent/high
+// mantissa bytes, so values are stored as a significant-byte count plus
+// only the low non-zero bytes.
+func appendDelta(b []byte, f, prev *Frame) []byte {
+	start := len(b)
+	b = append(b, make([]byte, headerLen)...)
+	b = appendMeta(b, &f.Meta)
+	n := f.Parts.Len()
+	b = appendU32(b, uint32(n))
+
+	// Particle IDs almost never change between frames; a changed set
+	// falls back to the raw column.
+	same := true
+	for i, id := range f.Parts.ID {
+		if id != prev.Parts.ID[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		b = append(b, colSame)
+	} else {
+		b = append(b, colPacked)
+		for _, id := range f.Parts.ID {
+			b = appendU32(b, uint32(id))
+		}
+	}
+
+	prevCols := prev.cols()
+	for ci, col := range f.cols() {
+		cur, old := *col, *prevCols[ci]
+		identical := true
+		for i := range cur {
+			if math.Float64bits(cur[i]) != math.Float64bits(old[i]) {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			b = append(b, colSame)
+			continue
+		}
+		b = append(b, colPacked)
+		for i := range cur {
+			x := math.Float64bits(cur[i]) ^ math.Float64bits(old[i])
+			nb := significantBytes(x)
+			b = append(b, byte(nb))
+			for k := 0; k < nb; k++ {
+				b = append(b, byte(x>>(8*k)))
+			}
+		}
+	}
+	return append(b[:start], finishRecord(b[start:], recDelta)...)
+}
+
+// significantBytes is the count of low bytes needed to represent x (0
+// for x == 0, 8 for a full-width image).
+func significantBytes(x uint64) int {
+	n := 0
+	for x != 0 {
+		n++
+		x >>= 8
+	}
+	return n
+}
+
+// decodeKeyframe decodes a keyframe body into f, reusing f's column
+// capacity. Every length is validated against the body before columns
+// are sized, so a hostile body cannot force an allocation beyond its
+// own size.
+func decodeKeyframe(body []byte, f *Frame) error {
+	c := newCursor(body)
+	c.readMeta(&f.Meta)
+	n := int(c.u32())
+	if !c.ok || n < 0 {
+		return fmt.Errorf("%w: truncated keyframe header", ErrCorrupt)
+	}
+	if want := n * (4 + numCols*8); c.remaining() != want {
+		return fmt.Errorf("%w: keyframe body is %d bytes for %d particles (want %d)", ErrCorrupt, c.remaining(), n, want)
+	}
+	f.Parts.Reset()
+	ids := c.take(n * 4)
+	for i := 0; i < n; i++ {
+		f.Parts.ID = append(f.Parts.ID, int32(binary.LittleEndian.Uint32(ids[i*4:])))
+	}
+	for _, col := range f.cols() {
+		raw := c.take(n * 8)
+		for i := 0; i < n; i++ {
+			*col = append(*col, math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:])))
+		}
+	}
+	return nil
+}
+
+// decodeDelta decodes a delta body into f by applying the XOR image to
+// prev, which must be the immediately preceding frame of the chain.
+func decodeDelta(body []byte, f, prev *Frame) error {
+	c := newCursor(body)
+	c.readMeta(&f.Meta)
+	n := int(c.u32())
+	if !c.ok || n < 0 {
+		return fmt.Errorf("%w: truncated delta header", ErrCorrupt)
+	}
+	if prev == nil || prev.Parts.Len() != n {
+		return fmt.Errorf("%w: delta for %d particles without a matching predecessor", ErrCorrupt, n)
+	}
+	f.Parts.Reset()
+	switch c.u8() {
+	case colSame:
+		f.Parts.ID = append(f.Parts.ID, prev.Parts.ID...)
+	case colPacked:
+		ids := c.take(n * 4)
+		if !c.ok {
+			return fmt.Errorf("%w: truncated delta id column", ErrCorrupt)
+		}
+		for i := 0; i < n; i++ {
+			f.Parts.ID = append(f.Parts.ID, int32(binary.LittleEndian.Uint32(ids[i*4:])))
+		}
+	default:
+		return fmt.Errorf("%w: unknown delta id tag", ErrCorrupt)
+	}
+	prevCols := prev.cols()
+	for ci, col := range f.cols() {
+		old := *prevCols[ci]
+		switch c.u8() {
+		case colSame:
+			*col = append(*col, old...)
+		case colPacked:
+			for i := 0; i < n; i++ {
+				nb := int(c.u8())
+				if nb > 8 {
+					return fmt.Errorf("%w: delta byte count %d", ErrCorrupt, nb)
+				}
+				raw := c.take(nb)
+				if !c.ok {
+					return fmt.Errorf("%w: truncated delta column", ErrCorrupt)
+				}
+				var x uint64
+				for k := 0; k < nb; k++ {
+					x |= uint64(raw[k]) << (8 * k)
+				}
+				*col = append(*col, math.Float64frombits(math.Float64bits(old[i])^x))
+			}
+		default:
+			return fmt.Errorf("%w: unknown delta column tag", ErrCorrupt)
+		}
+	}
+	if !c.ok {
+		return fmt.Errorf("%w: truncated delta body", ErrCorrupt)
+	}
+	if c.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in delta body", ErrCorrupt, c.remaining())
+	}
+	return nil
+}
+
+// IndexEntry locates one keyframe: the step it captured and the byte
+// offset of its record.
+type IndexEntry struct {
+	Step int64
+	Off  int64
+}
+
+// appendIndexRecord encodes the sparse keyframe index as a record.
+func appendIndexRecord(b []byte, idx []IndexEntry) []byte {
+	start := len(b)
+	b = append(b, make([]byte, headerLen)...)
+	b = appendU32(b, uint32(len(idx)))
+	for _, e := range idx {
+		b = appendU64(b, uint64(e.Step))
+		b = appendU64(b, uint64(e.Off))
+	}
+	return append(b[:start], finishRecord(b[start:], recIndex)...)
+}
+
+// decodeIndex decodes an index record body.
+func decodeIndex(body []byte) ([]IndexEntry, error) {
+	c := newCursor(body)
+	n := int(c.u32())
+	if !c.ok || n < 0 || c.remaining() != n*16 {
+		return nil, fmt.Errorf("%w: malformed index record", ErrCorrupt)
+	}
+	idx := make([]IndexEntry, n)
+	for i := range idx {
+		idx[i] = IndexEntry{Step: int64(c.u64()), Off: int64(c.u64())}
+	}
+	return idx, nil
+}
+
+// copyFrame deep-copies src into dst, reusing dst's column capacity.
+// The writer and reader both keep their delta-chain predecessor
+// separate from caller-owned frames.
+func copyFrame(dst, src *Frame) {
+	dst.Meta = src.Meta
+	dst.Parts.Reset()
+	dst.Parts.ID = append(dst.Parts.ID, src.Parts.ID...)
+	sc, dc := src.cols(), dst.cols()
+	for i := range sc {
+		*dc[i] = append(*dc[i], *sc[i]...)
+	}
+}
+
+// EncodeKeyframe encodes f as one standalone keyframe record — header,
+// body, and CRC, without the file magic. This is the unit the fabric
+// replicates: a gateway holding the latest keyframe record of a leased
+// job can seed a replacement shard with it.
+func EncodeKeyframe(f *Frame) []byte {
+	return appendKeyframe(nil, f)
+}
+
+// DecodeKeyframe validates and decodes one standalone keyframe record
+// produced by EncodeKeyframe (or extracted from a frame file).
+func DecodeKeyframe(rec []byte) (*Frame, error) {
+	if len(rec) < headerLen+crcLen {
+		return nil, fmt.Errorf("%w: record shorter than its framing", ErrCorrupt)
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(rec[0:4]))
+	if bodyLen < 0 || bodyLen > MaxRecord || headerLen+bodyLen+crcLen != len(rec) {
+		return nil, fmt.Errorf("%w: record length %d does not match %d-byte buffer", ErrCorrupt, bodyLen, len(rec))
+	}
+	if rec[4] != recKeyframe {
+		return nil, fmt.Errorf("%w: record kind %d is not a keyframe", ErrCorrupt, rec[4])
+	}
+	body := rec[headerLen : headerLen+bodyLen]
+	want := binary.LittleEndian.Uint32(rec[headerLen+bodyLen:])
+	if crc32.Update(0, crcTable, rec[4:headerLen+bodyLen]) != want {
+		return nil, fmt.Errorf("%w: keyframe CRC mismatch", ErrCorrupt)
+	}
+	f := &Frame{}
+	if err := decodeKeyframe(body, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

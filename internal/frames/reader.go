@@ -1,0 +1,342 @@
+package frames
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+func leU32(b []byte) uint32         { return binary.LittleEndian.Uint32(b) }
+func leU64(b []byte) uint64         { return binary.LittleEndian.Uint64(b) }
+func crc32Checksum(p []byte) uint32 { return crc32.Update(0, crcTable, p) }
+
+// Reader walks a frame file in step order, decoding keyframes and
+// applying deltas. It distinguishes three end states:
+//
+//   - clean close: the index record is reached; Next returns io.EOF and
+//     CleanEOF() reports true — the chain is complete.
+//   - live tail: the file simply ends (or its last record is still
+//     being written); Next returns io.EOF with CleanEOF() false. The
+//     caller may retry after the writer appends more — this is how
+//     /frames tail-follows a running job.
+//   - corruption: a record fails its CRC (or is structurally invalid)
+//     with more data after it; Next returns ErrCorrupt.
+//
+// Every length is validated against MaxRecord and the stat'd file size
+// before any allocation, so a corrupt length prefix cannot force an
+// oversized buffer.
+type Reader struct {
+	f           *os.File
+	path        string
+	off         int64
+	size        int64
+	prev        *Frame
+	index       []IndexEntry
+	indexLoaded bool
+	clean       bool
+	sinceKey    int
+	lastKeyOff  int64
+	lastKeyLen  int64
+	buf         []byte
+}
+
+// Open opens a frame file for reading. If the file was closed cleanly,
+// the trailer's sparse index is loaded for O(log n) SeekStep; a crashed
+// file falls back to a one-pass header scan on first seek.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var hdr [len(magic)]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || string(hdr[:]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s is not a frame file", ErrCorrupt, path)
+	}
+	r := &Reader{f: f, path: path, off: int64(len(magic)), size: st.Size()}
+	r.loadTrailerIndex()
+	return r, nil
+}
+
+// Close releases the file handle.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// CleanEOF reports whether the last io.EOF from Next was the file's
+// clean-close marker (index record) rather than a live or torn tail.
+func (r *Reader) CleanEOF() bool { return r.clean }
+
+// Offset is the byte offset of the next unread record — after a scan to
+// io.EOF it is the exact end of the valid chain, which is where
+// OpenAppend truncates and resumes.
+func (r *Reader) Offset() int64 { return r.off }
+
+// loadTrailerIndex opportunistically loads the clean-close index. Any
+// validation failure leaves the reader in scan-fallback mode; a crashed
+// or truncated file is normal, not an error.
+func (r *Reader) loadTrailerIndex() {
+	if r.size < int64(len(magic))+trailerLen {
+		return
+	}
+	var tr [trailerLen]byte
+	if _, err := r.f.ReadAt(tr[:], r.size-trailerLen); err != nil {
+		return
+	}
+	if leU32(tr[12:]) != trailerMagic || crc32Checksum(tr[:8]) != leU32(tr[8:12]) {
+		return
+	}
+	indexOff := int64(leU64(tr[:8]))
+	if indexOff < int64(len(magic)) || indexOff >= r.size-trailerLen {
+		return
+	}
+	var rh [headerLen]byte
+	if _, err := r.f.ReadAt(rh[:], indexOff); err != nil {
+		return
+	}
+	bodyLen := int64(leU32(rh[:4]))
+	if rh[4] != recIndex || bodyLen > MaxRecord ||
+		indexOff+headerLen+bodyLen+crcLen != r.size-trailerLen {
+		return
+	}
+	buf := make([]byte, headerLen+bodyLen+crcLen)
+	if _, err := r.f.ReadAt(buf, indexOff); err != nil {
+		return
+	}
+	if crc32Checksum(buf[4:headerLen+bodyLen]) != leU32(buf[headerLen+bodyLen:]) {
+		return
+	}
+	idx, err := decodeIndex(buf[headerLen : headerLen+bodyLen])
+	if err != nil {
+		return
+	}
+	r.index = idx
+	r.indexLoaded = true
+}
+
+// Next decodes the next frame of the chain into f. It re-stats the file
+// each call so a tail-following reader sees the writer's appends.
+func (r *Reader) Next(f *Frame) error {
+	if r.clean {
+		return io.EOF
+	}
+	st, err := r.f.Stat()
+	if err != nil {
+		return err
+	}
+	r.size = st.Size()
+	if r.off >= r.size || r.off+headerLen > r.size {
+		return io.EOF
+	}
+	var hdr [headerLen]byte
+	if _, err := r.f.ReadAt(hdr[:], r.off); err != nil {
+		return err
+	}
+	bodyLen := int64(leU32(hdr[:4]))
+	kind := hdr[4]
+	if bodyLen > MaxRecord {
+		// A torn tail is a prefix of a well-formed record, so its
+		// length field — once fully present — is always plausible. An
+		// absurd length is corruption, and is refused before any
+		// allocation.
+		return fmt.Errorf("%w: record length %d exceeds limit", ErrCorrupt, bodyLen)
+	}
+	recLen := headerLen + bodyLen + crcLen
+	if r.off+recLen > r.size {
+		// Record extends past the current end of file: either the
+		// writer is mid-append (retry later) or a crash tore it off
+		// (OpenAppend truncates here). Retryable in both cases.
+		return io.EOF
+	}
+	if int64(cap(r.buf)) < recLen {
+		r.buf = make([]byte, recLen)
+	}
+	buf := r.buf[:recLen]
+	if _, err := r.f.ReadAt(buf, r.off); err != nil {
+		return err
+	}
+	if crc32Checksum(buf[4:headerLen+bodyLen]) != leU32(buf[headerLen+bodyLen:]) {
+		if r.off+recLen == r.size {
+			// Garbage exactly at the tail: treat like a torn record.
+			// Under a live writer this can also be a transiently
+			// observed partial append; the retry reads it whole.
+			return io.EOF
+		}
+		return fmt.Errorf("%w: CRC mismatch at offset %d", ErrCorrupt, r.off)
+	}
+	body := buf[headerLen : headerLen+bodyLen]
+	switch kind {
+	case recIndex:
+		idx, err := decodeIndex(body)
+		if err != nil {
+			return err
+		}
+		if !r.indexLoaded {
+			r.index = idx
+			r.indexLoaded = true
+		}
+		r.clean = true
+		return io.EOF
+	case recKeyframe:
+		if err := decodeKeyframe(body, f); err != nil {
+			return err
+		}
+		r.lastKeyOff, r.lastKeyLen = r.off, recLen
+		r.sinceKey = 1
+	case recDelta:
+		if err := decodeDelta(body, f, r.prev); err != nil {
+			return err
+		}
+		r.sinceKey++
+	default:
+		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+	}
+	if r.prev == nil {
+		r.prev = &Frame{}
+	}
+	copyFrame(r.prev, f)
+	r.off += recLen
+	return nil
+}
+
+// Index returns the sparse keyframe index (step, offset) in file order,
+// building it with a header scan if the file lacks a clean trailer.
+func (r *Reader) Index() ([]IndexEntry, error) {
+	if err := r.ensureIndex(); err != nil {
+		return nil, err
+	}
+	return append([]IndexEntry(nil), r.index...), nil
+}
+
+// ensureIndex builds the keyframe index by scanning record headers.
+// Only headers and the 8-byte step field are read; CRC validation
+// happens when Next actually decodes a record.
+func (r *Reader) ensureIndex() error {
+	if r.indexLoaded {
+		return nil
+	}
+	st, err := r.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	var idx []IndexEntry
+	off := int64(len(magic))
+	for off+headerLen <= size {
+		var hdr [headerLen]byte
+		if _, err := r.f.ReadAt(hdr[:], off); err != nil {
+			return err
+		}
+		bodyLen := int64(leU32(hdr[:4]))
+		if bodyLen > MaxRecord || off+headerLen+bodyLen+crcLen > size {
+			break // torn or corrupt tail; the scan index covers the valid prefix
+		}
+		if hdr[4] == recIndex {
+			break
+		}
+		if hdr[4] == recKeyframe && bodyLen >= 8 {
+			var stepb [8]byte
+			if _, err := r.f.ReadAt(stepb[:], off+headerLen); err != nil {
+				return err
+			}
+			idx = append(idx, IndexEntry{Step: int64(leU64(stepb[:])), Off: off})
+		}
+		off += headerLen + bodyLen + crcLen
+	}
+	r.index = idx
+	r.indexLoaded = true
+	return nil
+}
+
+// SeekStep positions the reader at the latest keyframe whose step does
+// not exceed step (or the first keyframe if step precedes them all).
+// The next Next decodes that keyframe; callers skip forward to the
+// exact step they want. O(log n) with a clean-close index.
+func (r *Reader) SeekStep(step int64) error {
+	if err := r.ensureIndex(); err != nil {
+		return err
+	}
+	r.prev = nil
+	r.clean = false
+	r.sinceKey = 0
+	if len(r.index) == 0 {
+		r.off = int64(len(magic))
+		return nil
+	}
+	i := sort.Search(len(r.index), func(i int) bool { return r.index[i].Step > step })
+	if i > 0 {
+		i--
+	}
+	r.off = r.index[i].Off
+	return nil
+}
+
+// scanState is what a full forward walk of the chain learns: where the
+// valid prefix ends, the last decoded frame, the keyframe cadence
+// position, and the raw bytes of the last keyframe record.
+type scanState struct {
+	end        int64
+	last       *Frame
+	sinceKey   int
+	index      []IndexEntry
+	lastKeyRec []byte
+}
+
+// scanChain walks r to its end, ignoring any trailer index so the tail
+// is re-validated byte by byte. io.EOF (clean or torn) terminates the
+// scan; ErrCorrupt mid-file propagates.
+func scanChain(r *Reader) (scanState, error) {
+	var st scanState
+	var f Frame
+	var last *Frame
+	for {
+		err := r.Next(&f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, err
+		}
+		if last == nil {
+			last = &Frame{}
+		}
+		copyFrame(last, &f)
+	}
+	st.end = r.off
+	st.last = last
+	st.sinceKey = r.sinceKey
+	if err := r.ensureIndex(); err != nil {
+		return st, err
+	}
+	st.index = append(st.index, r.index...)
+	if r.lastKeyLen > 0 {
+		st.lastKeyRec = make([]byte, r.lastKeyLen)
+		if _, err := r.f.ReadAt(st.lastKeyRec, r.lastKeyOff); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// Tail opens path, walks the chain past any torn tail, and returns the
+// last intact frame (nil if the file holds none). This is the resume
+// probe: the service compares it against the gob checkpoint and resumes
+// from whichever is fresher.
+func Tail(path string) (*Frame, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	st, err := scanChain(r)
+	if err != nil {
+		return nil, err
+	}
+	return st.last, nil
+}

@@ -161,7 +161,7 @@ func (e *Engine) ownerOfPos(pos vec.V3) int {
 type localState struct {
 	me       int
 	parts    []dist.Particle
-	sortKeys []uint64 // DPDA: full-res Morton keys aligned with parts, set by migrate
+	sortKeys []uint64              // DPDA: full-res Morton keys aligned with parts, set by migrate
 	branches []*tree.Node          // local branch subtree roots, Morton order
 	rootsMap map[uint64]*tree.Node // packed key -> branch root
 	lookup   branchLookup          // request-serving lookup structure
@@ -463,6 +463,15 @@ func (e *Engine) migrate(pr *msg.Proc, st *localState) {
 		for src := 0; src < p; src++ {
 			mine = append(mine, fromWire(recv[src].([]wireParticle))...)
 		}
+		// Canonicalize to ID order. SPSA/SPDA need no particular order, but
+		// leaving migrated particles appended in arrival order makes every
+		// float accumulation (leaf summation, per-rank clock) a function of
+		// migration history — a simulation restored from a checkpoint or
+		// keyframe rebuilds in ID order and would drift from the original
+		// by ulps after the first migration. Host-side only, so no
+		// simulated cost is charged: the algorithm itself never consumes
+		// the order.
+		sort.Slice(mine, func(a, b int) bool { return mine[a].ID < mine[b].ID })
 	}
 	if e.cfg.Scheme == DPDA {
 		// Keep the local set Morton-sorted: the DPDA load balance relies

@@ -4,7 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/frames"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -15,6 +22,7 @@ import (
 //	GET  /api/v1/jobs/{id}/stream NDJSON progress until the job ends
 //	POST /api/v1/jobs/{id}/cancel cancel a queued or running job
 //	GET  /api/v1/jobs/{id}/result final state of a completed job
+//	GET  /api/v1/jobs/{id}/frames replay the job's frame chain (see handleFrames)
 //	GET  /api/v1/jobs/{id}/trace  Chrome/Perfetto trace of a traced job
 //	GET  /metrics                 Prometheus-style text metrics
 //	GET  /healthz                 liveness probe
@@ -26,6 +34,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/frames", s.handleFrames)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +195,199 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !emit(p) {
 				return
 			}
+		}
+	}
+}
+
+// frameEvent is one NDJSON line of a frame replay stream: the frame's
+// metrics header plus (unless fields=meta) the particle columns. Floats
+// are emitted by encoding/json in shortest-round-trip form, so parsing
+// them back yields bit-identical values.
+type frameEvent struct {
+	Step        int64   `json:"step"`
+	Time        float64 `json:"time"`
+	SimTime     float64 `json:"sim_time"`
+	MachineTime float64 `json:"machine_time"`
+	Energy      float64 `json:"energy"`
+	Efficiency  float64 `json:"efficiency"`
+	Imbalance   float64 `json:"imbalance"`
+	CommWords   int64   `json:"comm_words,omitempty"`
+	MACTests    int64   `json:"mac_tests,omitempty"`
+	PC          int64   `json:"pc,omitempty"`
+	PP          int64   `json:"pp,omitempty"`
+	N           int     `json:"n"`
+
+	ID   []int32   `json:"id,omitempty"`
+	Mass []float64 `json:"mass,omitempty"`
+	PosX []float64 `json:"pos_x,omitempty"`
+	PosY []float64 `json:"pos_y,omitempty"`
+	PosZ []float64 `json:"pos_z,omitempty"`
+	VelX []float64 `json:"vel_x,omitempty"`
+	VelY []float64 `json:"vel_y,omitempty"`
+	VelZ []float64 `json:"vel_z,omitempty"`
+}
+
+// queryInt parses an integer query parameter, returning def when absent.
+func queryInt(r *http.Request, key string, def int64) (int64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", key, v)
+	}
+	return n, nil
+}
+
+// handleFrames streams a job's frame chain:
+//
+//	GET /api/v1/jobs/{id}/frames?from=<step>&stride=<k>[&fields=meta]
+//
+// Frames with step >= from are emitted, every stride-th one. The
+// default encoding is NDJSON (one frameEvent per line); a request with
+// Accept: application/octet-stream gets the raw binary form instead —
+// the frames magic followed by one self-contained keyframe record per
+// frame, decodable with frames.DecodeKeyframe. Running jobs are
+// followed: the stream tails the chain as the worker appends and ends
+// when the job reaches a terminal state (finished jobs replay whatever
+// their chain retains after compaction).
+func (s *Service) handleFrames(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Get(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	path := s.spool.FramesPath(id)
+	if path == "" {
+		writeErr(w, http.StatusNotFound, errors.New("service: frame store disabled (daemon has no spool)"))
+		return
+	}
+	from, err := queryInt(r, "from", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	stride, err := queryInt(r, "stride", 1)
+	if err != nil || stride < 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("stride must be a positive integer"))
+		return
+	}
+	rd, err := frames.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			writeErr(w, http.StatusNotFound, errors.New("service: job has no frames"))
+		} else {
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	defer rd.Close()
+	if from > 0 {
+		if err := rd.SeekStep(from); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	metaOnly := r.URL.Query().Get("fields") == "meta"
+	raw := strings.Contains(r.Header.Get("Accept"), "application/octet-stream")
+
+	// Progress events wake the tail-follow loop; the channel closes at
+	// the job's terminal transition.
+	progress, unsub, err := s.Subscribe(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	defer unsub()
+
+	flusher, _ := w.(http.Flusher)
+	var enc *json.Encoder
+	if raw {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(frames.Magic()); err != nil {
+			return
+		}
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc = json.NewEncoder(w)
+	}
+	emit := func(f *frames.Frame) bool {
+		if raw {
+			if _, err := w.Write(frames.EncodeKeyframe(f)); err != nil {
+				return false
+			}
+		} else {
+			ev := frameEvent{
+				Step:        f.Meta.Step,
+				Time:        f.Meta.Time,
+				SimTime:     f.Meta.SimTime,
+				MachineTime: f.Meta.MachineTime,
+				Energy:      f.Meta.Energy,
+				Efficiency:  f.Meta.Efficiency,
+				Imbalance:   f.Meta.Imbalance,
+				CommWords:   f.Meta.CommWords,
+				MACTests:    f.Meta.MACTests,
+				PC:          f.Meta.PC,
+				PP:          f.Meta.PP,
+				N:           f.Parts.Len(),
+			}
+			if !metaOnly {
+				p := &f.Parts
+				ev.ID, ev.Mass = p.ID, p.Mass
+				ev.PosX, ev.PosY, ev.PosZ = p.PosX, p.PosY, p.PosZ
+				ev.VelX, ev.VelY, ev.VelZ = p.VelX, p.VelY, p.VelZ
+			}
+			if err := enc.Encode(ev); err != nil {
+				return false
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	terminal := false
+	var f frames.Frame
+	for {
+		err := rd.Next(&f)
+		switch {
+		case err == nil:
+			if f.Meta.Step < from || (f.Meta.Step-from)%stride != 0 {
+				continue
+			}
+			if !emit(&f) {
+				return
+			}
+		case errors.Is(err, io.EOF):
+			// Clean close, or the chain caught up with the writer. A live
+			// job may still append; wait for progress (or a short tick —
+			// compaction can land frames without a progress edge) and
+			// rescan. After a terminal state the chain is final: drain once
+			// more and stop.
+			if rd.CleanEOF() || terminal {
+				return
+			}
+			if st, gerr := s.Get(id); gerr != nil || st.State.Terminal() {
+				terminal = true
+				continue
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case _, ok := <-progress:
+				if !ok {
+					terminal = true
+				}
+			case <-time.After(250 * time.Millisecond):
+			}
+		default:
+			// Corrupt mid-chain record: the valid prefix has been served;
+			// there is nothing safe after it.
+			return
 		}
 	}
 }

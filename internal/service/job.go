@@ -62,6 +62,10 @@ type JobSpec struct {
 	// CheckpointEvery overrides the service's checkpoint interval in
 	// steps for this job (0 = service default).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// FramesKeyEvery overrides the service's frame-store keyframe
+	// cadence for this job (0 = service default, negative = no frame
+	// capture for this job).
+	FramesKeyEvery int `json:"frames_key_every,omitempty"`
 	// Transport selects where the simulated machine's ranks live:
 	// inproc (default) runs them in this daemon; tcp spreads them over
 	// the worker processes attached to the daemon's cluster coordinator.
@@ -193,6 +197,12 @@ func (s JobSpec) distributed() bool {
 	return strings.ToLower(s.Transport) == "tcp"
 }
 
+// potentialMode reports whether the spec asks for potential-only
+// evaluations (no integrated dynamics, so no frame capture).
+func (s JobSpec) potentialMode() bool {
+	return strings.ToLower(s.Mode) == "potential"
+}
+
 // SimConfig translates the spec into a barneshut.Config. The spec must
 // have been validated.
 func (s JobSpec) SimConfig() (barneshut.Config, error) {
@@ -285,12 +295,17 @@ type Progress struct {
 	Load *LoadSnapshot `json:"load,omitempty"`
 	// Event marks out-of-band lifecycle moments on the progress stream;
 	// "recovery" is published when a cluster job survives a transport
-	// fault and is re-queued to resume from Step.
+	// fault and is re-queued to resume from Step, and when a worker
+	// picks up a job restored from a checkpoint, frame chain, or
+	// replicated keyframe.
 	Event string `json:"event,omitempty"`
 	// Fault names the transport fault kind behind a recovery event.
 	Fault string `json:"fault,omitempty"`
 	// Retries is the number of fault recoveries this job has undergone.
 	Retries int `json:"retries,omitempty"`
+	// ResumedStep, on a recovery event, is the completed-step count the
+	// job restarted from (the frame-store or checkpoint resume point).
+	ResumedStep int `json:"resumed_step,omitempty"`
 }
 
 // LoadSnapshot summarizes one step's per-rank force-phase work on the
@@ -347,8 +362,14 @@ type Job struct {
 	finished time.Time
 	resumed  int // step count restored from a spool checkpoint
 	retries  int // transport-fault recoveries so far
-	progress Progress
-	result   *Result
+	// resumeMachine seeds the worker's machine-time accumulator on
+	// resume; fromFrame records that the resume state came from the
+	// frame chain (or a replicated keyframe) rather than a gob
+	// checkpoint.
+	resumeMachine float64
+	fromFrame     bool
+	progress      Progress
+	result        *Result
 	// Cluster jobs resume by deterministic replay from a step index; the
 	// pair below is the in-memory mirror of the cluster checkpoint.
 	clusterStep    int

@@ -40,6 +40,17 @@ type Metrics struct {
 	CheckpointByte atomic.Int64
 	machineMicros  atomic.Int64 // simulated machine time, microseconds
 
+	// Frame-store counters: frames appended to chains, in-place chain
+	// compactions, and jobs admitted from a replicated keyframe seed.
+	FramesAppended    atomic.Int64
+	FramesCompactions atomic.Int64
+	FramesSeeded      atomic.Int64
+
+	// framesBytesFn, when set, reports the total bytes of all frame
+	// chains in the spool; consulted at render time so the gauge tracks
+	// compaction and pruning exactly.
+	framesBytesFn atomic.Pointer[func() int64]
+
 	// StepSimSeconds and StepImbalance are per-step distributions of the
 	// simulated machine time and the load-imbalance ratio across all jobs.
 	// Both observe simulated-clock quantities; host time never enters
@@ -100,6 +111,10 @@ func (m *Metrics) SetTransport(t *transport.Metrics) {
 // generation).
 func (m *Metrics) SetTransportFunc(fn func() *transport.Metrics) { m.transportFn.Store(&fn) }
 
+// SetFramesBytesFunc attaches the spool's frame-chain size accounting
+// to the nbodyd_frames_bytes gauge.
+func (m *Metrics) SetFramesBytesFunc(fn func() int64) { m.framesBytesFn.Store(&fn) }
+
 // RecordRecovery counts one fault recovery by kind.
 func (m *Metrics) RecordRecovery(kind transport.FaultKind) {
 	if kind < 0 || int(kind) >= len(m.recoveries) {
@@ -117,24 +132,30 @@ func (m *Metrics) Render() string {
 		stepsPerSec = float64(m.StepsTotal.Load()) / uptime
 	}
 	rows := map[string]string{
-		"nbodyd_jobs_submitted_total":   fmt.Sprintf("%d", m.JobsSubmitted.Load()),
-		"nbodyd_jobs_rejected_total":    fmt.Sprintf("%d", m.JobsRejected.Load()),
-		"nbodyd_jobs_invalid_total":     fmt.Sprintf("%d", m.JobsInvalid.Load()),
-		"nbodyd_jobs_resumed_total":     fmt.Sprintf("%d", m.JobsResumed.Load()),
-		"nbodyd_jobs_done_total":        fmt.Sprintf("%d", m.JobsDone.Load()),
-		"nbodyd_jobs_failed_total":      fmt.Sprintf("%d", m.JobsFailed.Load()),
-		"nbodyd_jobs_canceled_total":    fmt.Sprintf("%d", m.JobsCanceled.Load()),
-		"nbodyd_jobs_queued":            fmt.Sprintf("%d", m.JobsQueued.Load()),
-		"nbodyd_jobs_running":           fmt.Sprintf("%d", m.JobsRunning.Load()),
-		"nbodyd_workers":                fmt.Sprintf("%d", m.Workers.Load()),
-		"nbodyd_worker_utilization":     fmt.Sprintf("%.4f", m.utilization()),
-		"nbodyd_steps_total":            fmt.Sprintf("%d", m.StepsTotal.Load()),
-		"nbodyd_steps_per_second":       fmt.Sprintf("%.4f", stepsPerSec),
-		"nbodyd_checkpoints_total":      fmt.Sprintf("%d", m.Checkpoints.Load()),
-		"nbodyd_checkpoint_bytes_total": fmt.Sprintf("%d", m.CheckpointByte.Load()),
-		"nbodyd_machine_seconds_total":  fmt.Sprintf("%.6f", float64(m.machineMicros.Load())/1e6),
-		"nbodyd_uptime_seconds":         fmt.Sprintf("%.3f", uptime),
-		"nbodyd_jobs_retried_total":     fmt.Sprintf("%d", m.JobsRetried.Load()),
+		"nbodyd_jobs_submitted_total":     fmt.Sprintf("%d", m.JobsSubmitted.Load()),
+		"nbodyd_jobs_rejected_total":      fmt.Sprintf("%d", m.JobsRejected.Load()),
+		"nbodyd_jobs_invalid_total":       fmt.Sprintf("%d", m.JobsInvalid.Load()),
+		"nbodyd_jobs_resumed_total":       fmt.Sprintf("%d", m.JobsResumed.Load()),
+		"nbodyd_jobs_done_total":          fmt.Sprintf("%d", m.JobsDone.Load()),
+		"nbodyd_jobs_failed_total":        fmt.Sprintf("%d", m.JobsFailed.Load()),
+		"nbodyd_jobs_canceled_total":      fmt.Sprintf("%d", m.JobsCanceled.Load()),
+		"nbodyd_jobs_queued":              fmt.Sprintf("%d", m.JobsQueued.Load()),
+		"nbodyd_jobs_running":             fmt.Sprintf("%d", m.JobsRunning.Load()),
+		"nbodyd_workers":                  fmt.Sprintf("%d", m.Workers.Load()),
+		"nbodyd_worker_utilization":       fmt.Sprintf("%.4f", m.utilization()),
+		"nbodyd_steps_total":              fmt.Sprintf("%d", m.StepsTotal.Load()),
+		"nbodyd_steps_per_second":         fmt.Sprintf("%.4f", stepsPerSec),
+		"nbodyd_checkpoints_total":        fmt.Sprintf("%d", m.Checkpoints.Load()),
+		"nbodyd_checkpoint_bytes_total":   fmt.Sprintf("%d", m.CheckpointByte.Load()),
+		"nbodyd_machine_seconds_total":    fmt.Sprintf("%.6f", float64(m.machineMicros.Load())/1e6),
+		"nbodyd_uptime_seconds":           fmt.Sprintf("%.3f", uptime),
+		"nbodyd_jobs_retried_total":       fmt.Sprintf("%d", m.JobsRetried.Load()),
+		"nbodyd_frames_appended_total":    fmt.Sprintf("%d", m.FramesAppended.Load()),
+		"nbodyd_frames_compactions_total": fmt.Sprintf("%d", m.FramesCompactions.Load()),
+		"nbodyd_frames_seeded_total":      fmt.Sprintf("%d", m.FramesSeeded.Load()),
+	}
+	if fn := m.framesBytesFn.Load(); fn != nil {
+		rows["nbodyd_frames_bytes"] = fmt.Sprintf("%d", (*fn)())
 	}
 	for kind := transport.FaultPeerLost; kind <= transport.FaultClosed; kind++ {
 		name := fmt.Sprintf("nbodyd_recoveries_%s_total", kind)

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io/fs"
 	"log"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 
 	barneshut "repro"
 	"repro/internal/cluster"
+	"repro/internal/frames"
 	"repro/internal/obsv"
 )
 
@@ -53,6 +55,18 @@ type Options struct {
 	Clock Clock
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
+	// FramesKeyEvery is the default keyframe cadence of the columnar
+	// frame store: every job step is appended to the job's frame chain,
+	// with a full keyframe every FramesKeyEvery frames and XOR-delta
+	// encoding between (default 16; 0 keeps the default, negative
+	// disables frame capture). Frames require a spool; per-job
+	// JobSpec.FramesKeyEvery overrides this.
+	FramesKeyEvery int
+	// FramesMaxBytes bounds one job's frame chain: when an appended
+	// keyframe pushes the file past the budget it is compacted in place
+	// (old keyframe groups decimated, deltas dropped) until it fits
+	// (default 64 MiB; negative disables compaction).
+	FramesMaxBytes int64
 	// Cluster, when non-nil, lets jobs with transport "tcp" run their
 	// ranks across the attached worker processes. Jobs requesting tcp
 	// while Cluster is nil are rejected at submission. The supervisor
@@ -78,6 +92,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 10
+	}
+	if o.FramesKeyEvery == 0 {
+		o.FramesKeyEvery = 16
+	}
+	if o.FramesMaxBytes == 0 {
+		o.FramesMaxBytes = 64 << 20
 	}
 	if o.Clock == nil {
 		o.Clock = realClock{}
@@ -123,6 +143,33 @@ type Service struct {
 
 	// resume maps job ID to the simulation restored from the spool.
 	resume map[string]*barneshut.Simulation
+
+	// frameHook, when set, observes every keyframe the workers append:
+	// the fabric agent replicates the record to its gateway so a
+	// re-routed job can resume on another shard. The record is a copy the
+	// hook may retain. Called off the worker's hot path only on keyframe
+	// steps.
+	frameHook atomic.Pointer[func(jobID string, step int64, keyframe []byte)]
+}
+
+// SetFrameHook installs fn as the keyframe observer (nil uninstalls).
+func (s *Service) SetFrameHook(fn func(jobID string, step int64, keyframe []byte)) {
+	if fn == nil {
+		s.frameHook.Store(nil)
+		return
+	}
+	s.frameHook.Store(&fn)
+}
+
+// notifyFrame invokes the frame hook, if any, with a copy of rec.
+func (s *Service) notifyFrame(jobID string, step int64, rec []byte) {
+	fn := s.frameHook.Load()
+	if fn == nil || len(rec) == 0 {
+		return
+	}
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	(*fn)(jobID, step, cp)
 }
 
 // New builds a Service, scanning the spool (if configured) and
@@ -141,6 +188,9 @@ func New(opt Options) (*Service, error) {
 		stopping: make(chan struct{}),
 		resume:   make(map[string]*barneshut.Simulation),
 	}
+	if spool != nil {
+		s.metrics.SetFramesBytesFunc(spool.FramesBytes)
+	}
 	recovered, errs := spool.Scan()
 	for _, e := range errs {
 		opt.Logf("nbodyd: spool: %v", e)
@@ -149,9 +199,13 @@ func New(opt Options) (*Service, error) {
 	// submissions; recovery happens before Submit can be called.
 	s.queue = make(chan *Job, opt.QueueDepth+len(recovered))
 	for _, rec := range recovered {
+		s.preferFrameResume(&rec)
 		j := newJob(rec.ID, rec.Spec, opt.Clock.Now())
 		j.resumed = rec.Step
+		j.resumeMachine = rec.MachineTime
+		j.fromFrame = rec.FromFrame
 		j.progress.Step = rec.Step
+		j.progress.MachineTime = rec.MachineTime
 		if rec.Sim != nil {
 			j.progress.SimTime = rec.Sim.Time()
 			s.resume[rec.ID] = rec.Sim
@@ -161,16 +215,81 @@ func New(opt Options) (*Service, error) {
 			// alone pins the step index and the machine-time accumulator.
 			j.clusterStep = rec.Step
 			j.clusterMachine = rec.MachineTime
-			j.progress.MachineTime = rec.MachineTime
 		}
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j.ID)
 		s.queue <- j
 		s.metrics.JobsQueued.Add(1)
 		s.metrics.JobsResumed.Add(1)
-		opt.Logf("nbodyd: recovered job %s from spool at step %d/%d", j.ID, rec.Step, rec.Spec.Steps)
+		src := "spool"
+		if rec.FromFrame {
+			src = "frame chain"
+		}
+		opt.Logf("nbodyd: recovered job %s from %s at step %d/%d", j.ID, src, rec.Step, rec.Spec.Steps)
 	}
 	return s, nil
+}
+
+// preferFrameResume upgrades a recovered job to resume from its frame
+// chain when the chain's last intact frame is at least as fresh as the
+// gob checkpoint. Frames win ties because they carry the machine-time
+// accumulator and round-trip the particle state bit-identically, so the
+// resumed run replays to the same simulated metrics as an uninterrupted
+// one. Failures fall back silently to whatever the spool scan found.
+func (s *Service) preferFrameResume(rec *Recovered) {
+	if rec.Spec.distributed() || rec.Spec.potentialMode() || !s.framesEnabled(rec.Spec) {
+		return
+	}
+	path := s.spool.FramesPath(rec.ID)
+	if path == "" {
+		return
+	}
+	tail, err := frames.Tail(path)
+	if err != nil || tail == nil {
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			s.opt.Logf("nbodyd: job %s frame chain unusable for resume: %v", rec.ID, err)
+		}
+		return
+	}
+	step := int(tail.Meta.Step)
+	if step < rec.Step || (step == rec.Step && rec.Sim != nil && rec.MachineTime > 0) {
+		return // the gob checkpoint is strictly better informed
+	}
+	cfg, err := rec.Spec.SimConfig()
+	if err != nil {
+		return
+	}
+	bodies := make([]barneshut.Particle, tail.Parts.Len())
+	tail.Parts.Scatter(bodies)
+	set := &barneshut.ParticleSet{Particles: bodies, Domain: tail.Meta.Domain}
+	sim, err := barneshut.RestoreSimulation(set, cfg, tail.Meta.Time, step)
+	if err != nil {
+		s.opt.Logf("nbodyd: job %s frame-tail restore failed: %v", rec.ID, err)
+		return
+	}
+	sim.SetFrameMark(tail.Meta.Step)
+	rec.Sim = sim
+	rec.Step = step
+	rec.MachineTime = tail.Meta.MachineTime
+	rec.FromFrame = true
+}
+
+// framesEnabled reports whether the service records frame chains for
+// this spec: a spool must exist and the effective keyframe cadence must
+// be positive. Distributed and potential-mode jobs never record frames
+// (no integrated particle dynamics to snapshot).
+func (s *Service) framesEnabled(spec JobSpec) bool {
+	return s.spool != nil && s.frameKeyEvery(spec) > 0 &&
+		!spec.distributed() && !spec.potentialMode()
+}
+
+// frameKeyEvery resolves the job's keyframe cadence: the spec override
+// when non-zero, else the service default. Negative disables.
+func (s *Service) frameKeyEvery(spec JobSpec) int {
+	if spec.FramesKeyEvery != 0 {
+		return spec.FramesKeyEvery
+	}
+	return s.opt.FramesKeyEvery
 }
 
 // Metrics exposes the service counters (for the HTTP layer and tests).
@@ -239,6 +358,92 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 		if err := s.spool.Remove(j.ID); err != nil {
 			s.opt.Logf("nbodyd: removing rejected job %s from spool: %v", j.ID, err)
 		}
+		return Status{}, ErrQueueFull
+	}
+}
+
+// SubmitSeeded admits a job that resumes from a replicated keyframe
+// record (see frames.EncodeKeyframe) instead of starting at step zero:
+// the fabric gateway hands the victim shard's last keyframe to the
+// shard a re-routed job lands on. The keyframe is validated and decoded
+// up front; an empty or unusable record degrades to a plain Submit (the
+// job still runs, from scratch), never to a rejected job.
+func (s *Service) SubmitSeeded(spec JobSpec, keyframe []byte) (Status, error) {
+	if len(keyframe) == 0 {
+		return s.Submit(spec)
+	}
+	select {
+	case <-s.stopping:
+		return Status{}, ErrShuttingDown
+	default:
+	}
+	if err := spec.Validate(); err != nil {
+		s.metrics.JobsInvalid.Add(1)
+		return Status{}, fmt.Errorf("invalid job: %w", err)
+	}
+	if spec.distributed() || spec.potentialMode() {
+		// Neither carries integrated particle state; the keyframe cannot
+		// seed them.
+		return s.Submit(spec)
+	}
+	frame, err := frames.DecodeKeyframe(keyframe)
+	if err != nil {
+		s.opt.Logf("nbodyd: seeded submit: keyframe rejected, starting from scratch: %v", err)
+		return s.Submit(spec)
+	}
+	cfg, err := spec.SimConfig()
+	if err != nil {
+		return Status{}, fmt.Errorf("invalid job: %w", err)
+	}
+	bodies := make([]barneshut.Particle, frame.Parts.Len())
+	frame.Parts.Scatter(bodies)
+	set := &barneshut.ParticleSet{Particles: bodies, Domain: frame.Meta.Domain}
+	sim, err := barneshut.RestoreSimulation(set, cfg, frame.Meta.Time, int(frame.Meta.Step))
+	if err != nil {
+		s.opt.Logf("nbodyd: seeded submit: keyframe unusable, starting from scratch: %v", err)
+		return s.Submit(spec)
+	}
+	sim.SetFrameMark(frame.Meta.Step)
+
+	j := newJob(s.newJobID(), spec, s.opt.Clock.Now())
+	j.resumed = int(frame.Meta.Step)
+	j.resumeMachine = frame.Meta.MachineTime
+	j.fromFrame = true
+	j.progress.Step = j.resumed
+	j.progress.SimTime = frame.Meta.Time
+	j.progress.MachineTime = frame.Meta.MachineTime
+	if err := s.spool.PutSpec(j.ID, spec); err != nil {
+		return Status{}, fmt.Errorf("service: spooling job: %w", err)
+	}
+	// Seed the job's frame chain with the keyframe so the resumed run's
+	// replay stream is continuous from the resume point even before its
+	// first local append.
+	if s.framesEnabled(spec) {
+		if path := s.spool.FramesPath(j.ID); path != "" {
+			if err := frames.WriteSeed(path, keyframe); err != nil {
+				s.opt.Logf("nbodyd: seeding frame chain for job %s: %v", j.ID, err)
+			}
+		}
+	}
+	s.mu.Lock()
+	select {
+	case s.queue <- j:
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.resume[j.ID] = sim
+		s.mu.Unlock()
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.JobsQueued.Add(1)
+		s.metrics.FramesSeeded.Add(1)
+		s.opt.Logf("nbodyd: job %s seeded from keyframe at step %d/%d", j.ID, j.resumed, spec.Steps)
+		return j.Status(), nil
+	default:
+		s.mu.Unlock()
+		s.metrics.JobsRejected.Add(1)
+		if err := s.spool.Remove(j.ID); err != nil {
+			s.opt.Logf("nbodyd: removing rejected job %s from spool: %v", j.ID, err)
+		}
+		s.spool.RemoveFrames(j.ID) // drop the orphaned seed
 		return Status{}, ErrQueueFull
 	}
 }

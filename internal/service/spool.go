@@ -17,13 +17,23 @@ import (
 //	<root>/<jobID>/meta.json       last durable progress (step count)
 //	<root>/<jobID>/checkpoint.gob  latest simulation checkpoint
 //
+// Frame chains live beside the job directories, under a reserved name:
+//
+//	<root>/frames/<jobID>.nbf      columnar frame chain (see internal/frames)
+//
 // Entries are removed when a job reaches a terminal state; whatever is
 // left in the spool at startup is, by construction, work interrupted by
-// a crash or shutdown. All writes go through a temp file and rename so a
-// crash mid-write never corrupts the previous checkpoint.
+// a crash or shutdown. Frame chains deliberately outlive the job
+// directory: a finished job's replay stream stays servable until its
+// frames are compacted or pruned. All writes go through a temp file and
+// rename so a crash mid-write never corrupts the previous checkpoint.
 type Spool struct {
 	root string
 }
+
+// framesDirName is the reserved spool entry holding frame chains; Scan
+// must never mistake it for a job directory.
+const framesDirName = "frames"
 
 // spoolMeta is the durable progress record accompanying a checkpoint.
 // For distributed (cluster) jobs it is the whole checkpoint: particles
@@ -52,6 +62,48 @@ func NewSpool(dir string) (*Spool, error) {
 
 func (sp *Spool) jobDir(id string) string { return filepath.Join(sp.root, id) }
 
+// FramesPath returns the frame-chain path for a job, creating the
+// frames directory on first use. It returns "" (frames disabled) on a
+// nil spool or when the directory cannot be created.
+func (sp *Spool) FramesPath(id string) string {
+	if sp == nil {
+		return ""
+	}
+	dir := filepath.Join(sp.root, framesDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	return filepath.Join(dir, id+".nbf")
+}
+
+// RemoveFrames deletes a job's frame chain (retention pruning; terminal
+// states keep theirs for replay).
+func (sp *Spool) RemoveFrames(id string) error {
+	if sp == nil {
+		return nil
+	}
+	return os.Remove(filepath.Join(sp.root, framesDirName, id+".nbf"))
+}
+
+// FramesBytes sums the on-disk size of every frame chain in the spool;
+// it backs the nbodyd_frames_bytes gauge.
+func (sp *Spool) FramesBytes() int64 {
+	if sp == nil {
+		return 0
+	}
+	entries, err := os.ReadDir(filepath.Join(sp.root, framesDirName))
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, ent := range entries {
+		if info, err := ent.Info(); err == nil && info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
 // PutSpec records a newly admitted job. Called before the job is
 // enqueued so a crash between admission and execution loses nothing.
 func (sp *Spool) PutSpec(id string, spec JobSpec) error {
@@ -68,9 +120,11 @@ func (sp *Spool) PutSpec(id string, spec JobSpec) error {
 	return atomicWrite(filepath.Join(sp.jobDir(id), "spec.json"), data)
 }
 
-// PutCheckpoint durably records the simulation state at the given step.
-// It returns the checkpoint size in bytes for metrics.
-func (sp *Spool) PutCheckpoint(id string, sim *barneshut.Simulation, step int) (int, error) {
+// PutCheckpoint durably records the simulation state at the given step,
+// along with the cumulative simulated machine time so a resumed job's
+// accumulator picks up bit-identically. It returns the checkpoint size
+// in bytes for metrics.
+func (sp *Spool) PutCheckpoint(id string, sim *barneshut.Simulation, step int, machineTime float64) (int, error) {
 	if sp == nil {
 		return 0, nil
 	}
@@ -82,7 +136,7 @@ func (sp *Spool) PutCheckpoint(id string, sim *barneshut.Simulation, step int) (
 	if err := atomicWrite(filepath.Join(sp.jobDir(id), "checkpoint.gob"), buf.Bytes()); err != nil {
 		return 0, err
 	}
-	meta, err := json.Marshal(spoolMeta{Step: step})
+	meta, err := json.Marshal(spoolMeta{Step: step, MachineTime: machineTime})
 	if err != nil {
 		return 0, err
 	}
@@ -128,8 +182,12 @@ type Recovered struct {
 	// Step is the durable completed-step count at the checkpoint.
 	Step int
 	// MachineTime is the simulated machine seconds accumulated over
-	// those steps (cluster jobs resume the accumulator from here).
+	// those steps; the worker resumes the accumulator from here so the
+	// final MachineTime matches an uninterrupted run bit for bit.
 	MachineTime float64
+	// FromFrame reports that Sim was rebuilt from the job's frame chain
+	// rather than (or in preference to) the gob checkpoint.
+	FromFrame bool
 }
 
 // Scan returns every resumable job left in the spool, in directory
@@ -145,7 +203,7 @@ func (sp *Spool) Scan() (jobs []Recovered, errs []error) {
 		return nil, []error{err}
 	}
 	for _, ent := range entries {
-		if !ent.IsDir() {
+		if !ent.IsDir() || ent.Name() == framesDirName {
 			continue
 		}
 		id := ent.Name()
@@ -178,7 +236,7 @@ func (sp *Spool) Scan() (jobs []Recovered, errs []error) {
 		// evaluations don't advance the simulation clock.
 		if meta, err := os.ReadFile(filepath.Join(sp.jobDir(id), "meta.json")); err == nil {
 			var m spoolMeta
-			if json.Unmarshal(meta, &m) == nil && m.Step > rec.Step {
+			if json.Unmarshal(meta, &m) == nil && m.Step >= rec.Step {
 				rec.Step = m.Step
 				rec.MachineTime = m.MachineTime
 			}

@@ -19,7 +19,7 @@ func TestNilSpoolIsNoOp(t *testing.T) {
 	if err := sp.PutSpec("x", JobSpec{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sp.PutCheckpoint("x", nil, 0); err != nil {
+	if _, err := sp.PutCheckpoint("x", nil, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := sp.Remove("x"); err != nil {
@@ -47,7 +47,7 @@ func TestSpoolRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim.Run(4)
-	n, err := sp.PutCheckpoint("j1", sim, 4)
+	n, err := sp.PutCheckpoint("j1", sim, 4, 1.25)
 	if err != nil {
 		t.Fatal(err)
 	}

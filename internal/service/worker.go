@@ -1,10 +1,12 @@
 package service
 
 import (
+	"os"
 	"time"
 
 	barneshut "repro"
 	"repro/internal/cluster"
+	"repro/internal/frames"
 	"repro/internal/obsv"
 	"repro/internal/parbh"
 	"repro/internal/transport"
@@ -75,7 +77,7 @@ func (s *Service) runJob(j *Job) {
 		s.runClusterJob(j)
 		return
 	}
-	potential := spec.Mode == "potential"
+	potential := spec.potentialMode()
 
 	// Resume from the spool-restored simulation when one exists.
 	s.mu.Lock()
@@ -83,6 +85,7 @@ func (s *Service) runJob(j *Job) {
 	delete(s.resume, j.ID)
 	s.mu.Unlock()
 	step := j.resumed
+	machineTime := j.resumeMachine
 	if sim == nil {
 		var err error
 		sim, err = spec.NewSimulation()
@@ -93,7 +96,19 @@ func (s *Service) runJob(j *Job) {
 		if step > 0 && !potential {
 			// Recovered without a usable checkpoint: restart from zero.
 			step = 0
+			machineTime = 0
 		}
+	} else if step > 0 {
+		// Announce the resume point on the progress stream before the
+		// first new step, mirroring the cluster path's recovery events.
+		j.publish(Progress{
+			Step:        step,
+			Steps:       spec.Steps,
+			SimTime:     sim.Time(),
+			MachineTime: machineTime,
+			Event:       "recovery",
+			ResumedStep: step,
+		})
 	}
 
 	sim.SetTracer(jobTracer(j))
@@ -103,14 +118,29 @@ func (s *Service) runJob(j *Job) {
 		ckptEvery = s.opt.CheckpointEvery
 	}
 
-	var machineTime float64
+	// Open the job's frame chain. Every completed step is appended; the
+	// columnar record is built from the same Bodies() snapshot the result
+	// reports, so frame capture never perturbs a simulated metric.
+	var fw *frames.Writer
+	if s.framesEnabled(spec) {
+		fw = s.openFrames(j, int64(step))
+	}
+	defer func() {
+		if fw != nil {
+			if err := fw.Close(); err != nil {
+				s.opt.Logf("nbodyd: closing frame chain for job %s: %v", j.ID, err)
+			}
+		}
+	}()
+
+	var frame frames.Frame
 	for step < spec.Steps {
 		select {
 		case <-s.stopping:
 			// Graceful shutdown: persist a resume point and walk away
 			// without a terminal transition — the job is still live, just
 			// not in this process.
-			s.checkpoint(j, sim, step)
+			s.checkpoint(j, sim, step, machineTime)
 			s.metrics.JobsRunning.Add(-1)
 			return
 		default:
@@ -127,6 +157,28 @@ func (s *Service) runJob(j *Job) {
 		}
 		step++
 		machineTime += res.SimTime
+		if fw != nil {
+			frame.Meta = frames.Meta{
+				Step:        int64(step),
+				Time:        sim.Time(),
+				SimTime:     res.SimTime,
+				MachineTime: machineTime,
+				Energy:      sim.KineticEnergy(),
+				Efficiency:  res.Efficiency,
+				Imbalance:   res.Imbalance,
+				CommWords:   res.CommWords,
+				MACTests:    res.Stats.MACTests,
+				PC:          res.Stats.PC,
+				PP:          res.Stats.PP,
+				Domain:      sim.Domain(),
+			}
+			frame.Parts.Gather(sim.Bodies())
+			if !s.appendFrame(j, fw, &frame) {
+				fw = nil // chain unusable; the job itself keeps running
+			} else {
+				sim.SetFrameMark(int64(step))
+			}
+		}
 		s.metrics.StepsTotal.Add(1)
 		s.metrics.AddMachineTime(res.SimTime)
 		s.metrics.ObserveStep(res.SimTime, res.Imbalance)
@@ -142,7 +194,7 @@ func (s *Service) runJob(j *Job) {
 			Load:        loadSnapshot(res.RankForce),
 		})
 		if ckptEvery > 0 && step%ckptEvery == 0 && step < spec.Steps {
-			s.checkpoint(j, sim, step)
+			s.checkpoint(j, sim, step, machineTime)
 		}
 	}
 
@@ -334,6 +386,63 @@ func retryDelay(base, max time.Duration, retries int) time.Duration {
 	return d
 }
 
+// openFrames opens (or continues) the job's frame chain for appending.
+// A chain whose tail runs ahead of the resume point would break the
+// index's step ordering, so it is recreated; so is a chain too corrupt
+// to append to. Returns nil when frames cannot be recorded — the job
+// runs regardless.
+func (s *Service) openFrames(j *Job, resumeStep int64) *frames.Writer {
+	path := s.spool.FramesPath(j.ID)
+	if path == "" {
+		return nil
+	}
+	opt := frames.WriterOptions{KeyEvery: s.frameKeyEvery(j.Spec)}
+	if _, err := os.Stat(path); err == nil {
+		w, err := frames.OpenAppend(path, opt)
+		if err == nil {
+			if last, ok := w.LastStep(); !ok || last <= resumeStep {
+				return w
+			}
+			s.opt.Logf("nbodyd: job %s frame chain runs past resume step %d; restarting the chain", j.ID, resumeStep)
+			w.Close()
+		} else {
+			s.opt.Logf("nbodyd: job %s frame chain unusable, recreating: %v", j.ID, err)
+		}
+	}
+	w, err := frames.Create(path, opt)
+	if err != nil {
+		s.opt.Logf("nbodyd: creating frame chain for job %s: %v", j.ID, err)
+		return nil
+	}
+	return w
+}
+
+// appendFrame writes one frame to the job's chain, replicates keyframes
+// through the frame hook, and compacts the chain when a keyframe pushes
+// it past the byte budget. It reports false — after closing the writer —
+// when the chain failed and capture should stop for this run.
+func (s *Service) appendFrame(j *Job, fw *frames.Writer, f *frames.Frame) bool {
+	isKey, err := fw.Append(f)
+	if err != nil {
+		s.opt.Logf("nbodyd: job %s frame append failed; disabling frame capture: %v", j.ID, err)
+		fw.Close()
+		return false
+	}
+	s.metrics.FramesAppended.Add(1)
+	if !isKey {
+		return true
+	}
+	s.notifyFrame(j.ID, f.Meta.Step, fw.KeyframeRecord())
+	if budget := s.opt.FramesMaxBytes; budget > 0 && fw.Size() > budget {
+		if _, err := fw.Compact(frames.Retention{MaxBytes: budget}); err != nil {
+			s.opt.Logf("nbodyd: compacting frame chain for job %s: %v", j.ID, err)
+			return true
+		}
+		s.metrics.FramesCompactions.Add(1)
+	}
+	return true
+}
+
 // clusterCheckpoint persists a distributed job's resume point.
 func (s *Service) clusterCheckpoint(j *Job, step int, machineTime float64) {
 	if s.spool == nil {
@@ -347,8 +456,8 @@ func (s *Service) clusterCheckpoint(j *Job, step int, machineTime float64) {
 }
 
 // checkpoint persists the job's current simulation state to the spool.
-func (s *Service) checkpoint(j *Job, sim *barneshut.Simulation, step int) {
-	n, err := s.spool.PutCheckpoint(j.ID, sim, step)
+func (s *Service) checkpoint(j *Job, sim *barneshut.Simulation, step int, machineTime float64) {
+	n, err := s.spool.PutCheckpoint(j.ID, sim, step, machineTime)
 	if err != nil {
 		s.opt.Logf("nbodyd: checkpointing job %s: %v", j.ID, err)
 		return
