@@ -161,12 +161,21 @@ func main() {
 		if capacity <= 0 {
 			capacity = *workers
 		}
+		// Results that complete while the gateway is down park in the
+		// spool (next to the frame chains) and drain on reconnect; with
+		// no spool they park in memory, surviving a gateway outage but
+		// not a daemon restart.
+		parkDir := ""
+		if *spool != "" {
+			parkDir = service.ParkedDir(*spool)
+		}
 		agent := &fabric.Agent{
 			Svc:      svc,
 			Gateway:  *gateway,
 			Name:     name,
 			HTTPAddr: *addr,
 			Capacity: capacity,
+			ParkDir:  parkDir,
 			Logf: func(format string, args ...any) {
 				logger.Info(fmt.Sprintf(format, args...), "component", "fabric")
 			},

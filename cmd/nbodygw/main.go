@@ -49,6 +49,8 @@ func main() {
 		rate      = flag.Float64("tenant-rate", 50, "default tenant token-bucket refill rate (jobs/s)")
 		burst     = flag.Float64("tenant-burst", 100, "default tenant token-bucket capacity")
 		tenantStr = flag.String("tenants", "", "per-tenant overrides: name=rate:burst:weight[,name=...]")
+		journal   = flag.String("journal", "", "durable job-journal path; restart on the same file recovers the fleet state")
+		reconcile = flag.Duration("reconcile-window", 15*time.Second, "how long a restarted gateway holds journaled leases for shard reports before re-queueing")
 	)
 	flag.Parse()
 
@@ -64,13 +66,15 @@ func main() {
 	}
 
 	gw, err := fabric.NewGateway(fabric.Options{
-		ControlAddr:  *control,
-		LeaseTTL:     *leaseTTL,
-		MaxPending:   *pending,
-		CacheEntries: *cacheCap,
-		TenantRate:   *rate,
-		TenantBurst:  *burst,
-		Tenants:      tenants,
+		ControlAddr:     *control,
+		LeaseTTL:        *leaseTTL,
+		MaxPending:      *pending,
+		CacheEntries:    *cacheCap,
+		TenantRate:      *rate,
+		TenantBurst:     *burst,
+		Tenants:         tenants,
+		JournalPath:     *journal,
+		ReconcileWindow: *reconcile,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...), "component", "fabric")
 		},

@@ -16,6 +16,22 @@
 //
 // With -out, a BENCH_fabric.json report (internal/experiments
 // FabricReport) is written for the benchmark artifact trail.
+//
+// With -mode gwha the driver runs the gateway crash drill instead: it
+// submits jobs of graduated lengths, keeps polling straight through a
+// gateway SIGKILL + journal restart that an outside harness (the CI
+// gwha job, or a human following the README walkthrough) performs, and
+// pins the recovery invariants:
+//
+//	GOLDEN gwha shards=3 accepted=12 lost=0 adopted=2 parked=1 match=true
+//
+// lost must be zero even though the gateway died; adopted counts
+// journaled leases the restarted gateway re-bound in place (their step
+// counters must never move backwards — the driver checks every poll);
+// parked counts results that completed during the outage and drained
+// from a shard's park spool. The drill exits nonzero when any invariant
+// fails, including adopted==0 or parked==0 (a kill that interrupted
+// nothing proves nothing).
 package main
 
 import (
@@ -49,6 +65,9 @@ func run() int {
 		n       = flag.Int("n", 96, "particles per job")
 		timeout = flag.Duration("timeout", 3*time.Minute, "deadline for the whole drill")
 		out     = flag.String("out", "", "write a BENCH_fabric.json report here")
+		mode    = flag.String("mode", "fabric", "drill to run: fabric (load + cache + golden) or gwha (gateway crash drill)")
+		gMin    = flag.Int("gwha-min-steps", 200, "gwha: shortest job's step count")
+		gStride = flag.Int("gwha-step-stride", 400, "gwha: step-count increment between successive jobs")
 	)
 	flag.Parse()
 
@@ -56,6 +75,10 @@ func run() int {
 	deadline := time.Now().Add(*timeout)
 	client := &http.Client{Timeout: 15 * time.Second}
 	d := &driver{base: base, client: client, deadline: deadline}
+
+	if *mode == "gwha" {
+		return runGwha(d, *jobs, *n, *gMin, *gStride, *out)
+	}
 
 	if *unique < 1 {
 		*unique = 1
@@ -183,6 +206,140 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runGwha is the gateway crash drill (-mode gwha). It submits jobs of
+// graduated lengths, then polls every one of them to a terminal state
+// while an outside harness SIGKILLs the gateway mid-run and restarts it
+// on its journal — connection errors during the outage are the expected
+// case, not a failure. Besides completion it pins the adoption
+// invariant on every poll: a job's step counter may never move
+// backwards, because the restarted gateway re-binds journaled leases in
+// place instead of re-executing them.
+func runGwha(d *driver, jobs, n, minSteps, stride int, out string) int {
+	start := time.Now()
+	report := experiments.GwhaReport{Gateway: d.base, Submitted: jobs}
+
+	type sub struct {
+		id   string
+		spec service.JobSpec
+	}
+	var accepted []sub
+	for i := 0; i < jobs; i++ {
+		spec := gwhaSpec(n, minSteps+i*stride, i)
+		id, _, err := d.submit(fmt.Sprintf("t%d", i%3), spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nbodyload: gwha job %d rejected: %v\n", i, err)
+			continue
+		}
+		accepted = append(accepted, sub{id: id, spec: spec})
+	}
+	report.Accepted = len(accepted)
+	fmt.Printf("nbodyload: gwha %d/%d jobs accepted; polling through the crash\n",
+		report.Accepted, jobs)
+
+	// Poll all jobs concurrently so the monotonicity check actually
+	// observes each one across the outage, not just the first in line.
+	var violations atomic.Int64
+	states := make([]string, len(accepted))
+	var wg sync.WaitGroup
+	for i, a := range accepted {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			states[i] = d.awaitThroughOutage(id, &violations)
+		}(i, a.id)
+	}
+	wg.Wait()
+	for i, state := range states {
+		switch state {
+		case "done":
+			report.Done++
+		case "canceled": // asked to stop; not lost
+		case "failed":
+			report.Failed++
+			report.Lost++
+		default: // vanished or still limping at the deadline
+			report.Lost++
+			fmt.Fprintf(os.Stderr, "nbodyload: gwha job %s lost (last state %q)\n",
+				accepted[i].id, state)
+		}
+	}
+	report.StepViolations = int(violations.Load())
+	report.ElapsedSecs = time.Since(start).Seconds()
+
+	// Golden determinism check on the longest job — the one that lived
+	// through the crash: its physics must match a direct in-process run.
+	if len(accepted) > 0 {
+		last := accepted[len(accepted)-1]
+		local, err := computeLocal(last.spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nbodyload: local golden computation failed: %v\n", err)
+			return 1
+		}
+		remote, err := d.fetchResult(last.id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nbodyload: golden fetch failed: %v\n", err)
+		} else {
+			report.GoldenMatch = physicsEqual(local, remote)
+		}
+	}
+
+	// The restarted gateway's counters carry the recovery evidence.
+	if metrics, err := d.fetchMetrics(); err == nil {
+		report.Adopted = metricValue(metrics, "nbodygw_jobs_adopted_total")
+		report.Parked = metricValue(metrics, "nbodygw_parked_results_total")
+		report.Rerouted = sumLabeled(metrics, "nbodygw_jobs_rerouted_total")
+		report.JournalBytes = metricValue(metrics, "nbodygw_journal_bytes")
+		report.ReconcileSecs = metricFloat(metrics, "nbodygw_reconcile_seconds")
+		report.Shards = int(metricValue(metrics, "nbodygw_shards_connected"))
+	}
+
+	fmt.Println(experiments.GwhaTable(report).Format())
+	fmt.Printf("GOLDEN gwha shards=%d accepted=%d lost=%d adopted=%d parked=%d match=%v\n",
+		report.Shards, report.Accepted, report.Lost, report.Adopted, report.Parked,
+		report.GoldenMatch)
+
+	if out != "" {
+		doc, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(doc, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nbodyload: writing %s: %v\n", out, err)
+			return 1
+		}
+		fmt.Printf("nbodyload: wrote %s\n", out)
+	}
+
+	if report.Lost > 0 || !report.GoldenMatch || report.StepViolations > 0 {
+		return 1
+	}
+	if report.Adopted == 0 || report.Parked == 0 {
+		fmt.Fprintln(os.Stderr,
+			"nbodyload: gwha drill interrupted nothing (adopted or parked is zero); the kill landed outside the run")
+		return 1
+	}
+	return 0
+}
+
+// gwhaSpec builds the i-th crash-drill job: same physics shape,
+// distinct seed, graduated length so that whenever the kill lands some
+// jobs are mid-run (adoption fodder) and some finish during the outage
+// (park fodder).
+func gwhaSpec(n, steps, variant int) service.JobSpec {
+	return service.JobSpec{
+		Name:       fmt.Sprintf("gwha-%d", variant),
+		Dist:       "plummer",
+		N:          n,
+		Seed:       int64(500 + variant),
+		Processors: 2,
+		Scheme:     "spsa",
+		Machine:    "ideal",
+		Steps:      steps,
+		Eps:        0.05,
+		DT:         0.01,
+	}
 }
 
 // loadSpec builds the i-th distinct job spec: identical physics shape,
@@ -332,6 +489,78 @@ func (d *driver) await(id string) (string, error) {
 	}
 }
 
+// awaitThroughOutage polls one job to a terminal state, treating every
+// transport or HTTP error as "the gateway is down right now" and
+// retrying until the drill deadline — the crash drill's outage is the
+// expected case. Each successful poll feeds the step-monotonicity
+// check: a nonzero step below the job's high-water mark means a silent
+// re-execution, which adoption exists to prevent. (Step zero is "no
+// update yet this session" — a freshly restarted gateway has no
+// progress until the adopted shard's first report — so it never counts
+// as a violation.)
+func (d *driver) awaitThroughOutage(id string, violations *atomic.Int64) string {
+	var maxStep int64
+	last := ""
+	for {
+		if time.Now().After(d.deadline) {
+			return last
+		}
+		resp, err := d.client.Get(d.base + "/api/v1/jobs/" + id)
+		if err != nil {
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		var st struct {
+			State    string `json:"state"`
+			Progress struct {
+				Step int64 `json:"step"`
+			} `json:"progress"`
+		}
+		if err := json.Unmarshal(payload, &st); err != nil {
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		last = st.State
+		if st.Progress.Step > 0 {
+			if st.Progress.Step < maxStep {
+				violations.Add(1)
+				fmt.Fprintf(os.Stderr, "nbodyload: job %s step went backwards: %d after %d\n",
+					id, st.Progress.Step, maxStep)
+			} else {
+				maxStep = st.Progress.Step
+			}
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			return st.State
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+// fetchResult returns one finished job's result bytes.
+func (d *driver) fetchResult(id string) ([]byte, error) {
+	resp, err := d.client.Get(d.base + "/api/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result: %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	return bytes.TrimSpace(payload), nil
+}
+
 // submitAndFetch submits one job, waits for it, and returns its result
 // bytes.
 func (d *driver) submitAndFetch(tenant string, spec service.JobSpec) ([]byte, error) {
@@ -346,19 +575,7 @@ func (d *driver) submitAndFetch(tenant string, spec service.JobSpec) ([]byte, er
 	if state != "done" {
 		return nil, fmt.Errorf("job %s finished %s", id, state)
 	}
-	resp, err := d.client.Get(d.base + "/api/v1/jobs/" + id + "/result")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("result: %s: %s", resp.Status, strings.TrimSpace(string(payload)))
-	}
-	return bytes.TrimSpace(payload), nil
+	return d.fetchResult(id)
 }
 
 // fetchMetrics returns the gateway's /metrics exposition text.
@@ -380,6 +597,21 @@ func metricValue(text, name string) int64 {
 			if len(fields) == 2 {
 				if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
 					return int64(v)
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// metricFloat extracts one plain metric row's value without rounding.
+func metricFloat(text, name string) float64 {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					return v
 				}
 			}
 		}

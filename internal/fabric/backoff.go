@@ -1,0 +1,83 @@
+package fabric
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// backoff is a jittered, capped exponential backoff for shard-agent
+// reconnects and parked-result drains. Plain exponential backoff
+// synchronizes a fleet: every agent observes the gateway die at the
+// same instant, so every agent's k-th retry lands at the same instant —
+// a thundering herd straight into the freshly restarted gateway's
+// accept loop. Full-range jitter decorrelates them: each delay is drawn
+// uniformly from [d/2, d) where d doubles from base to cap, so N agents
+// spread across half the window while the expected delay keeps its
+// exponential shape.
+type backoff struct {
+	mu        sync.Mutex // Run's reconnect loop and the drain goroutine share the stream
+	base, cap time.Duration
+	cur       time.Duration
+	rng       *rand.Rand
+}
+
+// newBackoff seeds the jitter stream. Two agents with different names
+// draw different schedules even if started the same nanosecond.
+func newBackoff(base, cap time.Duration, name string) *backoff {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	seed := int64(h.Sum64()) ^ time.Now().UnixNano()
+	return newBackoffSeeded(base, cap, seed)
+}
+
+// newBackoffSeeded is the deterministic constructor tests drive.
+func newBackoffSeeded(base, cap time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &backoff{base: base, cap: cap, cur: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// next returns the delay before the next attempt and advances the
+// exponential schedule.
+func (b *backoff) next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.cur
+	if b.cur < b.cap {
+		b.cur *= 2
+		if b.cur > b.cap {
+			b.cur = b.cap
+		}
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(b.rng.Int63n(int64(half)))
+}
+
+// reset restores the schedule after a healthy session, so a later
+// outage starts from the fast end again.
+func (b *backoff) reset() {
+	b.mu.Lock()
+	b.cur = b.base
+	b.mu.Unlock()
+}
+
+// jitter draws a uniform delay in [lo, hi) from the same stream; the
+// parked-result drain paces its sends with it so N agents reconnecting
+// together do not replay their spools in lockstep.
+func (b *backoff) jitter(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return lo + time.Duration(b.rng.Int63n(int64(hi-lo)))
+}

@@ -67,6 +67,26 @@ type Options struct {
 	TenantBurst float64
 	// Tenants overrides admission policy per tenant name.
 	Tenants map[string]TenantConfig
+	// JournalPath, when set, makes the gateway crash-restartable: every
+	// submission, admission decision, lease, cancel, completion, and
+	// replicated keyframe is appended to a CRC-framed write-ahead
+	// journal at this path, and a gateway restarted on the same path
+	// replays it — re-queueing pending jobs and reconciling leased ones
+	// with their shards instead of losing them. Empty disables
+	// journaling (the pre-HA behavior).
+	JournalPath string
+	// ReconcileWindow is how long a restarted gateway holds journaled
+	// leases out of the dispatch queue waiting for their shards to
+	// reconnect and report them. Jobs reported within the window are
+	// adopted in place (no re-route, no double execution); jobs whose
+	// shard never returns are re-queued, seeded from their journaled
+	// keyframe (default LeaseTTL).
+	ReconcileWindow time.Duration
+	// Chaos, when set, wraps every accepted shard connection in a
+	// transport.FaultConn so the PR-4 fault taxonomy (drop, dup, delay,
+	// corrupt, partition) applies to the fabric control plane. Drills
+	// and tests only.
+	Chaos *transport.FaultPlan
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 	// Now substitutes a fake clock in tests (default time.Now).
@@ -97,6 +117,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TenantBurst <= 0 {
 		o.TenantBurst = 100
+	}
+	if o.ReconcileWindow <= 0 {
+		o.ReconcileWindow = o.LeaseTTL
 	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
@@ -150,6 +173,13 @@ type GwJob struct {
 	finishTag float64 // WFQ virtual finish time
 	progress  json.RawMessage
 	result    json.RawMessage
+
+	// recoverBy, when non-zero, marks a job in the reconciliation set:
+	// it held a lease when the gateway (or its shard session) went away,
+	// it is NOT in any dispatch queue, and it waits for its shard to
+	// reconnect and report it. Past the deadline the watchdog re-queues
+	// it, seeded from its journaled keyframe.
+	recoverBy time.Time
 
 	// followers are identical in-flight submissions coalesced onto this
 	// job; they complete when it does.
@@ -217,6 +247,14 @@ type Gateway struct {
 	pending  int
 	vtime    float64
 
+	// Crash safety: the write-ahead journal (nil when disabled) and the
+	// reconciliation set — journaled leases awaiting their shard's
+	// report after a restart or session replacement, keyed by job ID.
+	journal    *Journal
+	recovering map[string]*GwJob
+	started    time.Time
+	reconciled bool // reconcile_seconds recorded
+
 	nextShard int
 	nextLease atomic.Uint64
 
@@ -233,21 +271,158 @@ func NewGateway(opt Options) (*Gateway, error) {
 		return nil, fmt.Errorf("fabric: gateway listen %s: %w", opt.ControlAddr, err)
 	}
 	g := &Gateway{
-		opt:      opt,
-		ln:       ln,
-		metrics:  NewMetrics(opt.Now()),
-		shards:   make(map[int]*shardConn),
-		ring:     NewRing(nil),
-		jobs:     make(map[string]*GwJob),
-		tenants:  make(map[string]*tenant),
-		inflight: make(map[string]*GwJob),
-		cache:    NewCache(opt.CacheEntries),
-		stopping: make(chan struct{}),
+		opt:        opt,
+		ln:         ln,
+		metrics:    NewMetrics(opt.Now()),
+		shards:     make(map[int]*shardConn),
+		ring:       NewRing(nil),
+		jobs:       make(map[string]*GwJob),
+		tenants:    make(map[string]*tenant),
+		inflight:   make(map[string]*GwJob),
+		cache:      NewCache(opt.CacheEntries),
+		recovering: make(map[string]*GwJob),
+		started:    opt.Now(),
+		reconciled: true, // restore() reopens the window if leases replay
+		stopping:   make(chan struct{}),
+	}
+	if opt.JournalPath != "" {
+		jl, st, err := OpenJournal(opt.JournalPath)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		g.journal = jl
+		g.metrics.JournalBytes.Store(jl.Size())
+		if st != nil {
+			g.restore(st)
+		}
 	}
 	g.wg.Add(2)
 	go g.acceptLoop()
 	go g.watchdog()
 	return g, nil
+}
+
+// restore rebuilds gateway state from a replayed journal: every job is
+// re-registered, done results repopulate the cache, pending jobs rejoin
+// their tenants' WFQ queues, and jobs that held a lease at the crash
+// enter the reconciliation set — held out of dispatch until their shard
+// reconnects and reports them or the reconcile window expires.
+func (g *Gateway) restore(st *JournalState) {
+	now := g.opt.Now()
+	g.vtime = st.VTime
+	g.nextLease.Store(st.NextLease)
+	for _, jt := range st.Tenants {
+		t := &tenant{
+			name:       jt.Name,
+			weight:     jt.Weight,
+			bucket:     NewTokenBucket(jt.Rate, jt.Burst, now),
+			lastFinish: jt.LastFinish,
+		}
+		if t.weight <= 0 {
+			t.weight = 1
+		}
+		t.bucket.tokens = jt.Tokens
+		g.tenants[jt.Name] = t
+	}
+	// Each job first journaled after the last snapshot consumed a quota
+	// token the snapshot's bucket level does not reflect; debit them so a
+	// crash-restart loop cannot be used to refill a tenant's bucket.
+	for name, n := range st.Admissions {
+		b := g.tenantFor(name).bucket
+		b.tokens -= float64(n)
+		if b.tokens < 0 {
+			b.tokens = 0
+		}
+	}
+	var leased, queued, terminal int
+	for _, id := range st.Order {
+		rec := st.Jobs[id]
+		j := &GwJob{
+			ID:              rec.ID,
+			Tenant:          rec.Tenant,
+			Key:             rec.Key,
+			created:         rec.Created,
+			specJSON:        append([]byte(nil), rec.SpecJSON...),
+			state:           service.State(rec.State),
+			errMsg:          rec.Error,
+			cached:          rec.Cached,
+			coalesced:       rec.Coalesced,
+			retries:         rec.Retries,
+			cancelRequested: rec.CancelRequested,
+			localID:         rec.LocalID,
+			keyframeStep:    rec.KeyframeStep,
+			resumedStep:     rec.ResumedStep,
+			framesAddr:      rec.FramesAddr,
+			finishTag:       rec.FinishTag,
+			result:          append(json.RawMessage(nil), rec.Result...),
+		}
+		if len(rec.SpecJSON) > 0 {
+			json.Unmarshal(rec.SpecJSON, &j.Spec)
+		}
+		if kf, ok := st.Keyframes[id]; ok {
+			j.keyframe = append([]byte(nil), kf.Data...)
+			if kf.Step > j.keyframeStep {
+				j.keyframeStep = kf.Step
+			}
+		}
+		g.jobs[id] = j
+		g.order = append(g.order, id)
+		if j.state.Terminal() {
+			terminal++
+			if j.state == service.StateDone && len(j.result) > 0 && !j.cached {
+				g.cache.Put(j.Key, j.result, j.ID)
+			}
+			continue
+		}
+	}
+	// Second pass (jobs map complete): re-link coalesced followers, then
+	// sort live leaders into the reconciliation set or the WFQ queues.
+	for _, id := range st.Order {
+		j := g.jobs[id]
+		rec := st.Jobs[id]
+		if j.state.Terminal() {
+			continue
+		}
+		if j.coalesced {
+			if leader, ok := g.jobs[rec.LeaderID]; ok && !leader.state.Terminal() {
+				leader.followers = append(leader.followers, j)
+				j.state = leader.state
+				continue
+			}
+			// Leader gone or terminal without us: treat as failed rather
+			// than resurrect a duplicate run.
+			j.state = service.StateFailed
+			j.errMsg = "journal replay: coalesced leader lost"
+			continue
+		}
+		g.inflight[j.Key] = j
+		if (rec.Lease != 0 && rec.Shard != "") || rec.Recovering {
+			// Held a lease at the crash (or already sat in the previous
+			// incarnation's reconciliation set): its shard may still be
+			// running it. Hold it for reconciliation instead of
+			// re-dispatching — re-routing now would double-execute the job.
+			j.state = service.StateRunning
+			j.recoverBy = now.Add(g.opt.ReconcileWindow)
+			g.recovering[id] = j
+			leased++
+			continue
+		}
+		// Admitted but never leased: straight back to its tenant's queue
+		// with its journaled finish tag.
+		j.state = service.StateQueued
+		g.tenantFor(j.Tenant).queue = append(g.tenantFor(j.Tenant).queue, j)
+		g.pending++
+		g.metrics.JobsPending.Add(1)
+		queued++
+	}
+	for _, t := range g.tenants {
+		q := t.queue
+		sort.Slice(q, func(i, k int) bool { return q[i].finishTag < q[k].finishTag })
+	}
+	g.reconciled = len(g.recovering) == 0 // gauge stays 0 when nothing to reconcile
+	g.opt.Logf("nbodygw: journal replayed %d job(s): %d awaiting shard reconciliation, %d re-queued, %d terminal",
+		len(g.order), leased, queued, terminal)
 }
 
 // ControlAddr returns the address shards register on.
@@ -275,7 +450,115 @@ func (g *Gateway) Close() error {
 		sc.conn.Close()
 	}
 	g.wg.Wait()
-	return nil
+	g.mu.Lock()
+	err := g.journal.Close()
+	g.journal = nil
+	g.mu.Unlock()
+	return err
+}
+
+// journalJobLocked appends j's full current state to the journal and
+// compacts the log when it outgrows its snapshot budget. Requires g.mu.
+// Journal write errors are logged, not fatal: the gateway stays
+// available and degrades to pre-HA (in-memory) behavior for the record
+// it could not write.
+func (g *Gateway) journalJobLocked(j *GwJob) {
+	if g.journal == nil {
+		return
+	}
+	if err := g.journal.AppendJob(g.jobRecordLocked(j)); err != nil {
+		g.opt.Logf("nbodygw: journal append (job %s): %v", j.ID, err)
+	}
+	if g.journal.ShouldCompact() {
+		if err := g.journal.Compact(g.snapshotLocked()); err != nil {
+			g.opt.Logf("nbodygw: journal compaction: %v", err)
+		}
+	}
+	g.metrics.JournalBytes.Store(g.journal.Size())
+}
+
+// journalKeyframeLocked appends a job's latest replicated keyframe as
+// its own record so the (large) frame bytes are not re-written with
+// every job-state transition. Requires g.mu.
+func (g *Gateway) journalKeyframeLocked(j *GwJob) {
+	if g.journal == nil {
+		return
+	}
+	if err := g.journal.AppendKeyframe(j.ID, j.keyframeStep, j.keyframe); err != nil {
+		g.opt.Logf("nbodygw: journal append (keyframe %s): %v", j.ID, err)
+	}
+	if g.journal.ShouldCompact() {
+		if err := g.journal.Compact(g.snapshotLocked()); err != nil {
+			g.opt.Logf("nbodygw: journal compaction: %v", err)
+		}
+	}
+	g.metrics.JournalBytes.Store(g.journal.Size())
+}
+
+// jobRecordLocked builds the durable form of one job.
+func (g *Gateway) jobRecordLocked(j *GwJob) *journalJob {
+	rec := &journalJob{
+		ID:              j.ID,
+		Tenant:          j.Tenant,
+		Key:             j.Key,
+		SpecJSON:        j.specJSON,
+		Created:         j.created,
+		State:           string(j.state),
+		Error:           j.errMsg,
+		Cached:          j.cached,
+		Coalesced:       j.coalesced,
+		Retries:         j.retries,
+		CancelRequested: j.cancelRequested,
+		Lease:           j.lease,
+		LocalID:         j.localID,
+		KeyframeStep:    j.keyframeStep,
+		ResumedStep:     j.resumedStep,
+		FramesAddr:      j.framesAddr,
+		FinishTag:       j.finishTag,
+		Result:          j.result,
+		Recovering:      !j.recoverBy.IsZero(),
+	}
+	if len(rec.SpecJSON) == 0 {
+		rec.SpecJSON, _ = json.Marshal(j.Spec)
+	}
+	if j.shard != nil {
+		rec.Shard = j.shard.name
+	}
+	if j.coalesced {
+		if leader, ok := g.inflight[j.Key]; ok && leader != j {
+			rec.LeaderID = leader.ID
+		}
+	}
+	return rec
+}
+
+// snapshotLocked captures the full replayable state for compaction.
+func (g *Gateway) snapshotLocked() *journalSnapshot {
+	snap := &journalSnapshot{
+		Order:     append([]string(nil), g.order...),
+		VTime:     g.vtime,
+		NextLease: g.nextLease.Load(),
+	}
+	for _, id := range g.order {
+		j := g.jobs[id]
+		snap.Jobs = append(snap.Jobs, *g.jobRecordLocked(j))
+		if len(j.keyframe) > 0 && !j.state.Terminal() {
+			snap.Keyframes = append(snap.Keyframes,
+				journalKeyframe{ID: j.ID, Step: j.keyframeStep, Data: j.keyframe})
+		}
+	}
+	for name, t := range g.tenants {
+		snap.Tenants = append(snap.Tenants, journalTenant{
+			Name:       name,
+			Weight:     t.weight,
+			Rate:       t.bucket.Rate,
+			Burst:      t.bucket.Burst,
+			Tokens:     t.bucket.tokens,
+			LastFinish: t.lastFinish,
+		})
+	}
+	sort.Slice(snap.Tenants, func(i, k int) bool { return snap.Tenants[i].Name < snap.Tenants[k].Name })
+	return snap
 }
 
 // acceptLoop admits shard registrations until Close.
@@ -297,6 +580,9 @@ func (g *Gateway) acceptLoop() {
 // serveShard runs one shard session: Hello handshake, then the control
 // pump until the connection dies.
 func (g *Gateway) serveShard(c net.Conn) {
+	if g.opt.Chaos != nil {
+		c = transport.NewFaultConn(c, *g.opt.Chaos)
+	}
 	c.SetReadDeadline(time.Now().Add(10 * time.Second))
 	kind, body, err := transport.ReadRaw(c)
 	if err != nil || kind != transport.KindHost {
@@ -325,9 +611,11 @@ func (g *Gateway) serveShard(c net.Conn) {
 	sc.lastSeen.Store(time.Now().UnixNano())
 
 	g.mu.Lock()
-	// A reconnecting shard replaces its old session: the stale session
-	// is failed first so its leases re-route (possibly right back to
-	// the fresh session).
+	// A reconnecting shard replaces its old session. The stale session's
+	// leases are NOT re-routed: the shard is alive (it just dialed us)
+	// and is still running them, so they move to the reconciliation set
+	// and the fresh session's ReportJobs re-binds them in place. Only if
+	// the report never mentions them does the window expiry re-queue.
 	var stale *shardConn
 	for _, prev := range g.shards {
 		if prev.name == sc.name {
@@ -335,11 +623,12 @@ func (g *Gateway) serveShard(c net.Conn) {
 			break
 		}
 	}
-	g.mu.Unlock()
 	if stale != nil {
-		g.shardFailed(stale, &transport.TransportError{Kind: transport.FaultPeerLost, Proc: stale.id,
-			Err: fmt.Errorf("shard %s re-registered; replacing stale session", sc.name)})
+		if g.shardSupersededLocked(stale) {
+			g.opt.Logf("nbodygw: shard %s re-registered; awaiting lease report from fresh session", sc.name)
+		}
 	}
+	g.mu.Unlock()
 
 	g.mu.Lock()
 	sc.id = g.nextShard
@@ -463,6 +752,10 @@ func (g *Gateway) handleControl(sc *shardConn, v any) {
 		g.handleDone(sc, msg)
 	case Keyframe:
 		g.handleKeyframe(sc, msg)
+	case ReportJobs:
+		g.handleReport(sc, msg)
+	case Parked:
+		g.handleParked(sc, msg)
 	default:
 		g.opt.Logf("nbodygw: unexpected control message %T from shard %s", v, sc.name)
 	}
@@ -487,6 +780,7 @@ func (g *Gateway) handleAccept(sc *shardConn, msg Accept) {
 			g.metrics.JobsResumedFromFrame.Add(1)
 			g.opt.Logf("nbodygw: shard %s resumed job %s from keyframe step %d", sc.name, j.ID, msg.ResumedStep)
 		}
+		g.journalJobLocked(j)
 		return
 	}
 	g.opt.Logf("nbodygw: shard %s refused job %s: %s", sc.name, j.ID, msg.Err)
@@ -510,6 +804,7 @@ func (g *Gateway) handleKeyframe(sc *shardConn, msg Keyframe) {
 	j.keyframe = append([]byte(nil), msg.Data...)
 	j.keyframeStep = msg.Step
 	g.metrics.KeyframesReplicated.Add(1)
+	g.journalKeyframeLocked(j)
 }
 
 // handleUpdate forwards a progress snapshot onto the gateway job.
@@ -562,6 +857,120 @@ func (g *Gateway) handleDone(sc *shardConn, msg Done) {
 	g.dispatchLocked()
 }
 
+// handleReport reconciles a shard's in-flight leases after it (or the
+// gateway) restarted. Each reported job the gateway still wants — known,
+// non-terminal, not leased elsewhere — is adopted: re-bound to this
+// session under a fresh lease, exactly where it was running, so a
+// gateway crash or connection blip never re-executes completed steps.
+// Everything else is released: the shard cancels its local copy.
+func (g *Gateway) handleReport(sc *shardConn, msg ReportJobs) {
+	g.mu.Lock()
+	adopted := 0
+	for _, item := range msg.Jobs {
+		j := g.jobs[item.JobID]
+		switch {
+		case j == nil || j.state.Terminal():
+			g.enqueue(sc, Release{JobID: item.JobID, LocalID: item.LocalID})
+		case j.shard == sc:
+			// Duplicate report on the live session; the lease stands.
+		case j.shard != nil:
+			// Already re-routed to another live shard; that copy wins and
+			// this one stops burning cycles.
+			g.enqueue(sc, Release{JobID: j.ID, LocalID: item.LocalID})
+		case j.cancelRequested:
+			// A cancel raced the outage; honor it instead of adopting.
+			g.enqueue(sc, Release{JobID: j.ID, LocalID: item.LocalID})
+			delete(g.recovering, j.ID)
+			j.recoverBy = time.Time{}
+			if g.inflight[j.Key] == j {
+				delete(g.inflight, j.Key)
+			}
+			g.finishLocked(j, service.StateCanceled, nil, "")
+		default:
+			// Recovering (journaled lease) or re-queued but not yet
+			// dispatched: adopt in place.
+			if _, ok := g.recovering[j.ID]; ok {
+				delete(g.recovering, j.ID)
+				j.recoverBy = time.Time{}
+			} else if g.tenantFor(j.Tenant).removeQueued(j) {
+				g.pending--
+				g.metrics.JobsPending.Add(-1)
+			}
+			lease := g.nextLease.Add(1)
+			j.lease, j.shard, j.localID = lease, sc, item.LocalID
+			j.state = service.StateRunning
+			j.framesAddr = sc.httpAddr
+			sc.leases[lease] = j
+			g.metrics.JobsLeased.Add(1)
+			g.metrics.JobsAdopted.Add(1)
+			g.journalJobLocked(j)
+			g.enqueue(sc, Adopt{Lease: lease, JobID: j.ID, LocalID: item.LocalID})
+			adopted++
+		}
+	}
+	g.finishReconcileLocked(g.opt.Now())
+	g.mu.Unlock()
+	if len(msg.Jobs) > 0 {
+		g.opt.Logf("nbodygw: shard %s reported %d in-flight job(s), adopted %d", sc.name, len(msg.Jobs), adopted)
+	}
+}
+
+// handleParked lands a terminal result that completed while the gateway
+// was unreachable. It is addressed by gateway job ID (no live lease
+// exists) and acknowledged unconditionally so the shard's spooled copy
+// is deleted even on redelivery.
+func (g *Gateway) handleParked(sc *shardConn, msg Parked) {
+	g.mu.Lock()
+	j := g.jobs[msg.JobID]
+	if j != nil && !j.state.Terminal() {
+		// Free whatever slot the job occupies: a reconciliation entry, a
+		// re-queued backlog slot, or a duplicate lease on another shard
+		// (which is canceled — this result already won).
+		delete(g.recovering, j.ID)
+		j.recoverBy = time.Time{}
+		if g.tenantFor(j.Tenant).removeQueued(j) {
+			g.pending--
+			g.metrics.JobsPending.Add(-1)
+		}
+		if j.shard != nil {
+			g.enqueue(j.shard, Cancel{Lease: j.lease, JobID: j.ID})
+			delete(j.shard.leases, j.lease)
+			g.metrics.JobsLeased.Add(-1)
+			j.lease, j.shard = 0, nil
+		}
+		if g.inflight[j.Key] == j {
+			delete(g.inflight, j.Key)
+		}
+		switch service.State(msg.State) {
+		case service.StateDone:
+			res := append(json.RawMessage(nil), msg.ResultJSON...)
+			g.cache.Put(j.Key, res, j.ID)
+			g.finishLocked(j, service.StateDone, res, "")
+		case service.StateCanceled:
+			g.finishLocked(j, service.StateCanceled, nil, "")
+		default:
+			g.finishLocked(j, service.StateFailed, nil, msg.Err)
+		}
+		g.metrics.ParkedResults.Add(1)
+		g.finishReconcileLocked(g.opt.Now())
+		g.dispatchLocked()
+	}
+	g.enqueue(sc, ParkedAck{JobID: msg.JobID})
+	g.mu.Unlock()
+}
+
+// finishReconcileLocked records the reconcile_seconds gauge once the
+// restart reconciliation set drains — by adoption, parked delivery, or
+// timeout re-queue.
+func (g *Gateway) finishReconcileLocked(now time.Time) {
+	if g.reconciled || len(g.recovering) > 0 {
+		return
+	}
+	g.reconciled = true
+	g.metrics.SetReconcileSeconds(now.Sub(g.started).Seconds())
+	g.opt.Logf("nbodygw: restart reconciliation complete in %v", now.Sub(g.started).Round(time.Millisecond))
+}
+
 // finishLocked moves a job and its followers to a terminal state.
 func (g *Gateway) finishLocked(j *GwJob, state service.State, result json.RawMessage, errMsg string) {
 	all := append([]*GwJob{j}, j.followers...)
@@ -581,6 +990,7 @@ func (g *Gateway) finishLocked(j *GwJob, state service.State, result json.RawMes
 		default:
 			g.metrics.JobsFailed.Add(1)
 		}
+		g.journalJobLocked(job)
 	}
 }
 
@@ -617,6 +1027,7 @@ func (g *Gateway) requeueLocked(j *GwJob, fault string) {
 	g.tenantFor(j.Tenant).requeueFront(j)
 	g.pending++
 	g.metrics.JobsPending.Add(1)
+	g.journalJobLocked(j)
 }
 
 // shardFailed removes a shard from the fleet and re-routes every job it
@@ -636,6 +1047,16 @@ func (g *Gateway) shardFailed(sc *shardConn, terr *transport.TransportError) {
 // fault kind — the same taxonomy the cluster supervisor keys on — is
 // what the re-route metric records. Idempotent per session.
 func (g *Gateway) shardFailedLocked(sc *shardConn, terr *transport.TransportError) bool {
+	select {
+	case <-g.stopping:
+		// The conn errors racing Close are the gateway's own teardown,
+		// not shard faults. Re-routing here would journal the leases as
+		// queued — a dying gateway must leave them leased on disk so
+		// the restarted process holds them for reconciliation instead
+		// of re-executing them.
+		return false
+	default:
+	}
 	if !sc.failed.CompareAndSwap(false, true) {
 		return false
 	}
@@ -665,6 +1086,43 @@ func (g *Gateway) shardFailedLocked(sc *shardConn, terr *transport.TransportErro
 	return true
 }
 
+// shardSupersededLocked retires a stale session whose shard just dialed
+// a replacement connection. Unlike shardFailedLocked it does NOT
+// re-route the leases: the shard is demonstrably alive and still
+// running them, so re-dispatching now would double-execute. The jobs
+// move to the reconciliation set; the fresh session's ReportJobs adopts
+// them in place, and only a report that never mentions them lets the
+// window expiry re-queue. Idempotent per session.
+func (g *Gateway) shardSupersededLocked(sc *shardConn) bool {
+	if !sc.failed.CompareAndSwap(false, true) {
+		return false
+	}
+	sc.conn.Close()
+	delete(g.shards, sc.id)
+	g.rebuildRingLocked()
+	g.metrics.Shards.Store(int64(len(g.shards)))
+	now := g.opt.Now()
+	for lease, j := range sc.leases {
+		delete(sc.leases, lease)
+		g.metrics.JobsLeased.Add(-1)
+		j.lease, j.shard, j.localID = 0, nil, ""
+		if j.cancelRequested {
+			// The cancel the stale session never acknowledged wins; the
+			// fresh session's report gets a Release for it.
+			if g.inflight[j.Key] == j {
+				delete(g.inflight, j.Key)
+			}
+			g.finishLocked(j, service.StateCanceled, nil, "")
+			continue
+		}
+		j.recoverBy = now.Add(g.opt.ReconcileWindow)
+		g.recovering[j.ID] = j
+		g.reconciled = false
+		g.journalJobLocked(j)
+	}
+	return true
+}
+
 // rebuildRingLocked recomputes the hash ring from the live shard set.
 func (g *Gateway) rebuildRingLocked() {
 	names := make(map[int]string, len(g.shards))
@@ -680,6 +1138,9 @@ func (g *Gateway) rebuildRingLocked() {
 func (g *Gateway) watchdog() {
 	defer g.wg.Done()
 	tick := g.opt.LeaseTTL / 4
+	if g.opt.ReconcileWindow/4 < tick {
+		tick = g.opt.ReconcileWindow / 4
+	}
 	if tick < 5*time.Millisecond {
 		tick = 5 * time.Millisecond
 	}
@@ -705,7 +1166,38 @@ func (g *Gateway) watchdog() {
 			g.shardFailed(sc, &transport.TransportError{Kind: transport.FaultHeartbeat, Proc: sc.id,
 				Err: fmt.Errorf("shard %s silent for %v (lease TTL %v)", sc.name, idle, g.opt.LeaseTTL)})
 		}
+		g.sweepRecovering(g.opt.Now())
 	}
+}
+
+// sweepRecovering re-queues reconciliation-set jobs whose shard never
+// came back inside the window. Each re-queued job is seeded from its
+// journaled keyframe, so the replacement shard resumes mid-run rather
+// than replaying from step zero.
+func (g *Gateway) sweepRecovering(now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.recovering) == 0 {
+		return
+	}
+	var due []*GwJob
+	for _, j := range g.recovering {
+		if now.After(j.recoverBy) {
+			due = append(due, j)
+		}
+	}
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, k int) bool { return due[i].ID < due[k].ID })
+	for _, j := range due {
+		delete(g.recovering, j.ID)
+		j.recoverBy = time.Time{}
+		g.opt.Logf("nbodygw: reconcile window expired for job %s; re-queueing (keyframe step %d)", j.ID, j.keyframeStep)
+		g.requeueLocked(j, "reconcile")
+	}
+	g.finishReconcileLocked(now)
+	g.dispatchLocked()
 }
 
 // tenantFor returns (creating if needed) the tenant record.
@@ -790,6 +1282,7 @@ func (g *Gateway) Submit(tenantName string, spec service.JobSpec) (GwStatus, err
 		g.metrics.CacheHits.Add(1)
 		g.metrics.JobsDone.Add(1)
 		g.metrics.Admitted.Add(tenantName, 1)
+		g.journalJobLocked(j)
 		return g.statusLocked(j), nil
 	}
 
@@ -805,6 +1298,7 @@ func (g *Gateway) Submit(tenantName string, spec service.JobSpec) (GwStatus, err
 		g.registerLocked(j)
 		g.metrics.Coalesced.Add(1)
 		g.metrics.Admitted.Add(tenantName, 1)
+		g.journalJobLocked(j)
 		return g.statusLocked(j), nil
 	}
 
@@ -829,6 +1323,7 @@ func (g *Gateway) Submit(tenantName string, spec service.JobSpec) (GwStatus, err
 	g.pending++
 	g.metrics.JobsPending.Add(1)
 	g.metrics.Admitted.Add(tenantName, 1)
+	g.journalJobLocked(j)
 	g.dispatchLocked()
 	return g.statusLocked(j), nil
 }
@@ -907,7 +1402,9 @@ func (g *Gateway) dispatchLocked() {
 				delete(g.inflight, j.Key)
 			}
 			g.finishLocked(j, service.StateFailed, nil, fmt.Sprintf("encoding assign frame: %v", err))
+			continue
 		}
+		g.journalJobLocked(j)
 	}
 }
 
@@ -989,6 +1486,7 @@ func (g *Gateway) Cancel(id string) (GwStatus, error) {
 		}
 		j.state = service.StateCanceled
 		g.metrics.JobsCanceled.Add(1)
+		g.journalJobLocked(j)
 	case j.shard != nil:
 		if len(j.followers) > 0 {
 			// Promote the first follower to leader so the shard job's
@@ -1006,6 +1504,8 @@ func (g *Gateway) Cancel(id string) (GwStatus, error) {
 			j.lease, j.shard = 0, nil
 			j.state = service.StateCanceled
 			g.metrics.JobsCanceled.Add(1)
+			g.journalJobLocked(leader)
+			g.journalJobLocked(j)
 		} else {
 			notify = j.shard
 			cancelMsg = Cancel{Lease: j.lease, JobID: j.ID}
@@ -1013,6 +1513,7 @@ func (g *Gateway) Cancel(id string) (GwStatus, error) {
 			// if the shard dies first, the flag makes requeueLocked
 			// finish the job canceled instead of re-routing it.
 			j.cancelRequested = true
+			g.journalJobLocked(j)
 		}
 	case len(j.followers) > 0:
 		// Pending leader with coalesced followers: hand the queue slot
@@ -1030,6 +1531,8 @@ func (g *Gateway) Cancel(id string) (GwStatus, error) {
 		j.followers = nil
 		j.state = service.StateCanceled
 		g.metrics.JobsCanceled.Add(1)
+		g.journalJobLocked(leader)
+		g.journalJobLocked(j)
 	default:
 		// Pending, alone: mark terminal and free the backlog slot
 		// eagerly so canceled jobs cannot pin g.pending at the bound.

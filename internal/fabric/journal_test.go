@@ -1,0 +1,345 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testJournalJob(id, state string, lease uint64, shard string) *journalJob {
+	return &journalJob{
+		ID: id, Tenant: "t", Key: "k-" + id,
+		SpecJSON: json.RawMessage(`{"n":96}`),
+		Created:  time.Unix(1700000000, 0).UTC(),
+		State:    state, Lease: lease, Shard: shard,
+		FinishTag: 1.5,
+	}
+}
+
+// Append → close → reopen must replay last-write-wins per job, the
+// newest keyframe, and the lease/WFQ clocks.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gw.journal")
+	jl, st, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != nil {
+		t.Fatalf("fresh journal replayed state: %+v", st)
+	}
+	if err := jl.AppendJob(testJournalJob("g1", "queued", 0, "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.AppendJob(testJournalJob("g1", "running", 7, "s0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.AppendJob(testJournalJob("g2", "queued", 0, "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.AppendKeyframe("g1", 8, []byte("frame8")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.AppendKeyframe("g1", 4, []byte("frame4")); err != nil { // out of order: ignored
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jl2, st2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if st2 == nil {
+		t.Fatal("reopen returned no state")
+	}
+	if got := st2.Jobs["g1"]; got == nil || got.State != "running" || got.Lease != 7 || got.Shard != "s0" {
+		t.Fatalf("g1 last-write-wins replay = %+v", st2.Jobs["g1"])
+	}
+	if got := st2.Jobs["g2"]; got == nil || got.State != "queued" {
+		t.Fatalf("g2 replay = %+v", st2.Jobs["g2"])
+	}
+	if want := []string{"g1", "g2"}; !reflect.DeepEqual(st2.Order, want) {
+		t.Fatalf("order = %v, want %v", st2.Order, want)
+	}
+	if kf := st2.Keyframes["g1"]; kf == nil || kf.Step != 8 || string(kf.Data) != "frame8" {
+		t.Fatalf("keyframe replay = %+v (out-of-order frame must not win)", st2.Keyframes["g1"])
+	}
+	if st2.NextLease != 7 {
+		t.Fatalf("NextLease = %d, want 7", st2.NextLease)
+	}
+	if st2.VTime != 1.5 {
+		t.Fatalf("VTime = %v, want 1.5", st2.VTime)
+	}
+	if st2.Admissions["t"] != 2 {
+		t.Fatalf("Admissions[t] = %d, want 2 (distinct jobs since last snapshot)", st2.Admissions["t"])
+	}
+}
+
+// A crash mid-append leaves a torn record at the tail; reopen must keep
+// the valid prefix, truncate the tail, and accept new appends cleanly.
+func TestJournalCrashMidAppendTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gw.journal")
+	jl, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.AppendJob(testJournalJob("g1", "done", 0, "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash: a second record written only half-way out.
+	body, _ := json.Marshal(testJournalJob("g2", "queued", 0, ""))
+	rec := appendJournalRecord(nil, jrecJob, body)
+	for cut := 1; cut < len(rec); cut += 7 {
+		torn := append(append([]byte(nil), full...), rec[:cut]...)
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jl2, st, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("reopen with %d torn bytes: %v", cut, err)
+		}
+		if st == nil || len(st.Jobs) != 1 || st.Jobs["g1"] == nil {
+			t.Fatalf("cut %d: replay = %+v, want just g1", cut, st)
+		}
+		if jl2.Size() != int64(len(full)) {
+			t.Fatalf("cut %d: size after reopen = %d, want truncated to %d", cut, jl2.Size(), len(full))
+		}
+		// The journal must keep working on the truncated tail.
+		if err := jl2.AppendJob(testJournalJob("g3", "queued", 0, "")); err != nil {
+			t.Fatal(err)
+		}
+		jl2.Close()
+		_, st3, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st3 == nil || st3.Jobs["g3"] == nil || st3.Jobs["g2"] != nil {
+			t.Fatalf("cut %d: post-truncate append replay = %+v", cut, st3)
+		}
+		// Reset for the next cut point.
+		if err := os.WriteFile(path, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A flipped bit inside a committed record must stop replay at the
+// previous record instead of replaying garbage.
+func TestJournalCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gw.journal")
+	jl, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.AppendJob(testJournalJob("g1", "done", 0, ""))
+	jl.AppendJob(testJournalJob("g2", "queued", 0, ""))
+	jl.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-10] ^= 0x40 // inside g2's record body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jl2, st, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if st == nil || st.Jobs["g1"] == nil || st.Jobs["g2"] != nil {
+		t.Fatalf("replay past corruption = %+v, want only g1", st)
+	}
+}
+
+// Compaction must be a lossless round trip: replaying the snapshot file
+// yields the same state the snapshot described, and subsequent appends
+// merge on top of it.
+func TestJournalSnapshotCompactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gw.journal")
+	jl, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		jl.AppendJob(testJournalJob("g1", "running", uint64(i+1), "s0"))
+	}
+	preSize := jl.Size()
+	snap := &journalSnapshot{
+		Order: []string{"g1", "g2"},
+		Jobs: []journalJob{
+			*testJournalJob("g1", "running", 50, "s0"),
+			*testJournalJob("g2", "queued", 0, ""),
+		},
+		Keyframes: []journalKeyframe{{ID: "g1", Step: 40, Data: []byte("kf40")}},
+		Tenants:   []journalTenant{{Name: "t", Weight: 2, Rate: 10, Burst: 20, Tokens: 3.5, LastFinish: 9}},
+		VTime:     12.25,
+		NextLease: 50,
+	}
+	if err := jl.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	if jl.Size() >= preSize {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", preSize, jl.Size())
+	}
+	// Appends after compaction merge into the snapshot.
+	if err := jl.AppendJob(testJournalJob("g3", "queued", 0, "")); err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+
+	_, st, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("no state after compaction")
+	}
+	if want := []string{"g1", "g2", "g3"}; !reflect.DeepEqual(st.Order, want) {
+		t.Fatalf("order = %v, want %v", st.Order, want)
+	}
+	for _, rec := range snap.Jobs {
+		got := st.Jobs[rec.ID]
+		if got == nil || !reflect.DeepEqual(*got, rec) {
+			t.Fatalf("job %s replay differs from snapshot:\ngot  %+v\nwant %+v", rec.ID, got, rec)
+		}
+	}
+	if kf := st.Keyframes["g1"]; kf == nil || !reflect.DeepEqual(*kf, snap.Keyframes[0]) {
+		t.Fatalf("keyframe replay = %+v, want %+v", st.Keyframes["g1"], snap.Keyframes[0])
+	}
+	if !reflect.DeepEqual(st.Tenants, snap.Tenants) {
+		t.Fatalf("tenants replay = %+v, want %+v", st.Tenants, snap.Tenants)
+	}
+	if st.VTime != snap.VTime || st.NextLease != snap.NextLease {
+		t.Fatalf("clocks replay = (%v, %d), want (%v, %d)", st.VTime, st.NextLease, snap.VTime, snap.NextLease)
+	}
+	// Only g3 was admitted after the snapshot; g1's 50 pre-snapshot
+	// records must not debit the replayed bucket.
+	if st.Admissions["t"] != 1 {
+		t.Fatalf("Admissions[t] = %d, want 1 (post-snapshot admissions only)", st.Admissions["t"])
+	}
+}
+
+// FuzzReadJournalRecord hammers the record parser with mutated frames:
+// it must never panic, never over-read, and anything it accepts must
+// re-encode to the identical bytes.
+func FuzzReadJournalRecord(f *testing.F) {
+	body, _ := json.Marshal(testJournalJob("g1", "running", 3, "s0"))
+	f.Add(appendJournalRecord(nil, jrecJob, body))
+	f.Add(appendJournalRecord(nil, jrecKeyframe, []byte(`{"id":"g1","step":4,"data":"aGk="}`)))
+	f.Add(appendJournalRecord(nil, jrecSnapshot, []byte(`{"order":[]}`)))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 2, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0}, journalHeaderLen+journalCRCLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, body, n, err := readJournalRecord(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("accepted record over-reads: n=%d > len=%d", n, len(data))
+		}
+		if !bytes.Equal(appendJournalRecord(nil, kind, body), data[:n]) {
+			t.Fatalf("accepted record does not round-trip")
+		}
+	})
+}
+
+// The jittered backoff must (a) stay inside [d/2, d) while d doubles
+// from base to cap, and (b) decorrelate two agents: satellite-1's
+// thundering-herd regression.
+func TestBackoffJitterSpread(t *testing.T) {
+	base, cap := 100*time.Millisecond, 800*time.Millisecond
+	b := newBackoffSeeded(base, cap, 1)
+	want := base
+	for i := 0; i < 20; i++ {
+		d := b.next()
+		if d < want/2 || d >= want {
+			t.Fatalf("draw %d: delay %v outside [%v, %v)", i, d, want/2, want)
+		}
+		if want < cap {
+			want *= 2
+			if want > cap {
+				want = cap
+			}
+		}
+	}
+	b.reset()
+	if d := b.next(); d < base/2 || d >= base {
+		t.Fatalf("after reset: delay %v outside [%v, %v)", d, base/2, base)
+	}
+
+	// Two seeds must not produce the same schedule, and repeated draws
+	// at the cap must actually spread over the jitter window.
+	b1, b2 := newBackoffSeeded(base, cap, 42), newBackoffSeeded(base, cap, 43)
+	same := true
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		d1, d2 := b1.next(), b2.next()
+		if d1 != d2 {
+			same = false
+		}
+		seen[d1] = true
+	}
+	if same {
+		t.Fatal("two differently-seeded backoffs produced identical schedules")
+	}
+	if len(seen) < 16 {
+		t.Fatalf("64 draws produced only %d distinct delays; jitter is not spreading", len(seen))
+	}
+
+	// jitter() draws stay inside the half-open interval.
+	for i := 0; i < 100; i++ {
+		if d := b1.jitter(5*time.Millisecond, 40*time.Millisecond); d < 5*time.Millisecond || d >= 40*time.Millisecond {
+			t.Fatalf("jitter draw %v outside [5ms, 40ms)", d)
+		}
+	}
+}
+
+// Parked results must survive an agent restart via the spool directory
+// and disappear once acknowledged.
+func TestParkStoreDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ps, err := newParkStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Put(&parkedResult{JobID: "g2", State: "done", Result: json.RawMessage(`{"steps":3}`)})
+	ps.Put(&parkedResult{JobID: "g1", State: "failed", Err: "boom"})
+
+	ps2, err := newParkStore(dir) // the "restarted agent"
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := ps2.List()
+	if len(list) != 2 || list[0].JobID != "g1" || list[1].JobID != "g2" {
+		t.Fatalf("reloaded park list = %+v", list)
+	}
+	if list[0].Err != "boom" || string(list[1].Result) != `{"steps":3}` {
+		t.Fatalf("reloaded park entries lost fields: %+v", list)
+	}
+	if !ps2.Remove("g1") {
+		t.Fatal("Remove(g1) found nothing")
+	}
+	if ps2.Remove("g1") {
+		t.Fatal("second Remove(g1) claimed to remove again")
+	}
+	ps3, err := newParkStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps3.Len() != 1 {
+		t.Fatalf("after ack, reloaded store has %d entries, want 1", ps3.Len())
+	}
+}

@@ -103,6 +103,19 @@ type Metrics struct {
 	KeyframesReplicated  atomic.Int64
 	JobsResumedFromFrame atomic.Int64
 
+	// Crash-safety counters. JobsAdopted counts journaled leases a
+	// reconnecting shard reported and the gateway re-bound in place
+	// instead of re-routing; ParkedResults counts terminal results that
+	// arrived via the parked-result drain rather than a live lease;
+	// JournalBytes is the on-disk journal size; reconcileMicros is the
+	// host time from gateway start until the reconciliation window
+	// emptied (adoption, drain, or timeout re-queue of every journaled
+	// lease), 0 while reconciliation is still open or was never needed.
+	JobsAdopted     atomic.Int64
+	ParkedResults   atomic.Int64
+	JournalBytes    atomic.Int64
+	reconcileMicros atomic.Int64
+
 	// Routed counts lease grants by shard name; Rerouted counts
 	// re-queues of leased jobs by the TransportError fault kind that
 	// killed their shard; Admitted/Rejected count per-tenant admission
@@ -135,6 +148,16 @@ func NewMetrics(now time.Time) *Metrics {
 	}
 }
 
+// SetReconcileSeconds records how long restart reconciliation took.
+func (m *Metrics) SetReconcileSeconds(sec float64) {
+	m.reconcileMicros.Store(int64(sec * 1e6))
+}
+
+// ReconcileSeconds reads the reconciliation duration gauge.
+func (m *Metrics) ReconcileSeconds() float64 {
+	return float64(m.reconcileMicros.Load()) / 1e6
+}
+
 // Render writes the exposition text: plain rows sorted by name, then
 // the labeled families, then the histogram.
 func (m *Metrics) Render(now time.Time) string {
@@ -153,6 +176,10 @@ func (m *Metrics) Render(now time.Time) string {
 		"nbodygw_uptime_seconds":                fmt.Sprintf("%.3f", now.Sub(m.start).Seconds()),
 		"nbodygw_keyframes_replicated_total":    fmt.Sprintf("%d", m.KeyframesReplicated.Load()),
 		"nbodygw_jobs_resumed_from_frame_total": fmt.Sprintf("%d", m.JobsResumedFromFrame.Load()),
+		"nbodygw_jobs_adopted_total":            fmt.Sprintf("%d", m.JobsAdopted.Load()),
+		"nbodygw_parked_results_total":          fmt.Sprintf("%d", m.ParkedResults.Load()),
+		"nbodygw_journal_bytes":                 fmt.Sprintf("%d", m.JournalBytes.Load()),
+		"nbodygw_reconcile_seconds":             fmt.Sprintf("%.6f", m.ReconcileSeconds()),
 	}
 	names := make([]string, 0, len(rows))
 	for name := range rows {

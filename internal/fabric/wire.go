@@ -21,6 +21,8 @@
 package fabric
 
 import (
+	"fmt"
+
 	"repro/internal/transport"
 )
 
@@ -29,16 +31,21 @@ import (
 // process-independent, and must never be reused for a different
 // encoding.
 const (
-	idHello    uint16 = 61
-	idWelcome  uint16 = 62
-	idAssign   uint16 = 63
-	idAccept   uint16 = 64
-	idUpdate   uint16 = 65
-	idDone     uint16 = 66
-	idPing     uint16 = 67
-	idPong     uint16 = 68
-	idCancel   uint16 = 69
-	idKeyframe uint16 = 70
+	idHello     uint16 = 61
+	idWelcome   uint16 = 62
+	idAssign    uint16 = 63
+	idAccept    uint16 = 64
+	idUpdate    uint16 = 65
+	idDone      uint16 = 66
+	idPing      uint16 = 67
+	idPong      uint16 = 68
+	idCancel    uint16 = 69
+	idKeyframe  uint16 = 70
+	idReport    uint16 = 71
+	idAdopt     uint16 = 72
+	idParked    uint16 = 73
+	idParkedAck uint16 = 74
+	idRelease   uint16 = 75
 )
 
 // Hello is a shard's registration: its human name, the HTTP address its
@@ -134,6 +141,62 @@ type Keyframe struct {
 	Data  []byte
 }
 
+// ReportedJob is one in-flight lease a reconnecting shard still runs:
+// the gateway job ID it was assigned under, the shard-local job ID, and
+// the last completed step (observability; the gateway's adoption
+// decision keys on the IDs alone).
+type ReportedJob struct {
+	JobID   string
+	LocalID string
+	Step    int64
+}
+
+// ReportJobs is the first message a shard sends after Welcome: every
+// gateway job it is still running from previous sessions. A freshly
+// restarted gateway uses these reports during its reconciliation window
+// to adopt still-running jobs instead of re-routing them; a gateway
+// that never crashed uses them to re-bind leases across a connection
+// blip. Shards with nothing in flight send an empty report.
+type ReportJobs struct {
+	Jobs []ReportedJob
+}
+
+// Adopt re-binds a reported job to the fresh session under a new lease:
+// the shard keeps running the job exactly where it was — no restart, no
+// re-route — and resumes streaming Updates/Done under the new lease.
+type Adopt struct {
+	Lease   uint64
+	JobID   string
+	LocalID string
+}
+
+// Parked delivers a terminal result that completed while the gateway
+// was unreachable and was spooled on the shard. It is addressed by
+// gateway job ID because no live lease exists; the gateway finishes the
+// job (idempotently) and answers ParkedAck.
+type Parked struct {
+	JobID      string
+	State      string
+	Err        string
+	ResultJSON []byte
+}
+
+// ParkedAck confirms a Parked result is journaled gateway-side; the
+// shard deletes its spooled copy. Always sent, even for unknown or
+// already-terminal jobs, so redelivery converges.
+type ParkedAck struct {
+	JobID string
+}
+
+// Release tells a shard to cancel a local job it reported but the
+// gateway cannot adopt: the job is terminal, canceled, or already
+// re-routed to another shard (whose copy wins). Addressed by local ID
+// because no lease binds the two sides.
+type Release struct {
+	JobID   string
+	LocalID string
+}
+
 func init() {
 	transport.Register(idHello,
 		func(w *transport.Writer, v Hello) {
@@ -221,6 +284,63 @@ func init() {
 		},
 		func(r *transport.Reader) (Keyframe, error) {
 			return Keyframe{Lease: r.U64(), JobID: r.Str(), Step: r.I64(), Data: r.Raw()}, r.Err()
+		})
+	transport.Register(idReport,
+		func(w *transport.Writer, v ReportJobs) {
+			w.U32(uint32(len(v.Jobs)))
+			for _, j := range v.Jobs {
+				w.Str(j.JobID)
+				w.Str(j.LocalID)
+				w.I64(j.Step)
+			}
+		},
+		func(r *transport.Reader) (ReportJobs, error) {
+			n := r.U32()
+			if err := r.Err(); err != nil {
+				return ReportJobs{}, err
+			}
+			// Each entry is at least 2 length-prefixed strings + an i64;
+			// bound the allocation before trusting the count.
+			if int(n) > r.Remaining()/16+1 {
+				return ReportJobs{}, fmt.Errorf("fabric: report count %d exceeds frame", n)
+			}
+			v := ReportJobs{}
+			for i := uint32(0); i < n; i++ {
+				v.Jobs = append(v.Jobs, ReportedJob{JobID: r.Str(), LocalID: r.Str(), Step: r.I64()})
+			}
+			return v, r.Err()
+		})
+	transport.Register(idAdopt,
+		func(w *transport.Writer, v Adopt) {
+			w.U64(v.Lease)
+			w.Str(v.JobID)
+			w.Str(v.LocalID)
+		},
+		func(r *transport.Reader) (Adopt, error) {
+			return Adopt{Lease: r.U64(), JobID: r.Str(), LocalID: r.Str()}, r.Err()
+		})
+	transport.Register(idParked,
+		func(w *transport.Writer, v Parked) {
+			w.Str(v.JobID)
+			w.Str(v.State)
+			w.Str(v.Err)
+			w.Raw(v.ResultJSON)
+		},
+		func(r *transport.Reader) (Parked, error) {
+			return Parked{JobID: r.Str(), State: r.Str(), Err: r.Str(), ResultJSON: r.Raw()}, r.Err()
+		})
+	transport.Register(idParkedAck,
+		func(w *transport.Writer, v ParkedAck) { w.Str(v.JobID) },
+		func(r *transport.Reader) (ParkedAck, error) {
+			return ParkedAck{JobID: r.Str()}, r.Err()
+		})
+	transport.Register(idRelease,
+		func(w *transport.Writer, v Release) {
+			w.Str(v.JobID)
+			w.Str(v.LocalID)
+		},
+		func(r *transport.Reader) (Release, error) {
+			return Release{JobID: r.Str(), LocalID: r.Str()}, r.Err()
 		})
 }
 

@@ -46,6 +46,13 @@ type Metrics struct {
 	FramesCompactions atomic.Int64
 	FramesSeeded      atomic.Int64
 
+	// Parked-result counters (fabric agent): terminal results spooled
+	// because the gateway was unreachable, and spooled results later
+	// drained to a reconnected gateway. Parked − Drained is the backlog
+	// still awaiting delivery.
+	ResultsParked atomic.Int64
+	ParkedDrained atomic.Int64
+
 	// framesBytesFn, when set, reports the total bytes of all frame
 	// chains in the spool; consulted at render time so the gauge tracks
 	// compaction and pruning exactly.
@@ -153,6 +160,8 @@ func (m *Metrics) Render() string {
 		"nbodyd_frames_appended_total":    fmt.Sprintf("%d", m.FramesAppended.Load()),
 		"nbodyd_frames_compactions_total": fmt.Sprintf("%d", m.FramesCompactions.Load()),
 		"nbodyd_frames_seeded_total":      fmt.Sprintf("%d", m.FramesSeeded.Load()),
+		"nbodyd_results_parked_total":     fmt.Sprintf("%d", m.ResultsParked.Load()),
+		"nbodyd_parked_drained_total":     fmt.Sprintf("%d", m.ParkedDrained.Load()),
 	}
 	if fn := m.framesBytesFn.Load(); fn != nil {
 		rows["nbodyd_frames_bytes"] = fmt.Sprintf("%d", (*fn)())

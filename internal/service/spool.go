@@ -32,8 +32,23 @@ type Spool struct {
 }
 
 // framesDirName is the reserved spool entry holding frame chains; Scan
-// must never mistake it for a job directory.
-const framesDirName = "frames"
+// must never mistake it for a job directory. parkedDirName is likewise
+// reserved for the fabric agent's parked-result store (terminal results
+// spooled while the gateway is unreachable — see internal/fabric).
+const (
+	framesDirName = "frames"
+	parkedDirName = "parked"
+)
+
+// ParkedDir returns the reserved parked-result directory for a spool
+// root. It is a pure path helper — the fabric agent creates and manages
+// the directory — exported so daemons derive it from one -spool flag.
+func ParkedDir(root string) string {
+	if root == "" {
+		return ""
+	}
+	return filepath.Join(root, parkedDirName)
+}
 
 // spoolMeta is the durable progress record accompanying a checkpoint.
 // For distributed (cluster) jobs it is the whole checkpoint: particles
@@ -203,7 +218,7 @@ func (sp *Spool) Scan() (jobs []Recovered, errs []error) {
 		return nil, []error{err}
 	}
 	for _, ent := range entries {
-		if !ent.IsDir() || ent.Name() == framesDirName {
+		if !ent.IsDir() || ent.Name() == framesDirName || ent.Name() == parkedDirName {
 			continue
 		}
 		id := ent.Name()

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConn applies the FaultLink chaos taxonomy to a framed control
+// connection — the fabric's gateway↔shard plane, which rides raw conns
+// rather than the Link interface. The wrapper is sender-side: each
+// endpoint wraps its own conn, and every Write call (one whole control
+// frame, the fabric's write discipline) rolls the plan's dice:
+//
+//   - DropProb swallows the frame (the peer never sees it; lease
+//     heartbeating and re-registration absorb the gap),
+//   - DelayProb stalls it synchronously by Delay, preserving FIFO order,
+//   - DupProb writes it twice (control handling is idempotent),
+//   - CorruptProb flips a body byte, which the receiver classifies as
+//     FaultCorrupt and answers by failing the session,
+//   - PartitionAfter severs the conn after that many written frames.
+//
+// Decisions come from a private RNG seeded with plan.Seed, so a drill
+// replays identically. Reads pass through untouched.
+type FaultConn struct {
+	net.Conn
+	plan FaultPlan
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	sent int
+
+	Dropped     atomic.Int64
+	Duplicated  atomic.Int64
+	Delayed     atomic.Int64
+	Corrupted   atomic.Int64
+	Partitioned atomic.Bool
+}
+
+// NewFaultConn wraps conn with the plan. A nil plan or zero-value plan
+// injects nothing (but still counts frames for PartitionAfter == 0,
+// i.e. never partitions).
+func NewFaultConn(conn net.Conn, plan FaultPlan) *FaultConn {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if plan.Delay <= 0 {
+		plan.Delay = time.Millisecond
+	}
+	return &FaultConn{Conn: conn, plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Write applies the plan to one outgoing control frame.
+func (fc *FaultConn) Write(frame []byte) (int, error) {
+	fc.mu.Lock()
+	fc.sent++
+	partitioned := fc.plan.PartitionAfter > 0 && fc.sent > fc.plan.PartitionAfter
+	var drop, dup, corrupt, delay bool
+	if !partitioned {
+		drop = fc.plan.DropProb > 0 && fc.rng.Float64() < fc.plan.DropProb
+		delay = fc.plan.DelayProb > 0 && fc.rng.Float64() < fc.plan.DelayProb
+		dup = fc.plan.DupProb > 0 && fc.rng.Float64() < fc.plan.DupProb
+		corrupt = fc.plan.CorruptProb > 0 && fc.rng.Float64() < fc.plan.CorruptProb
+	}
+	fc.mu.Unlock()
+
+	if partitioned {
+		if fc.Partitioned.CompareAndSwap(false, true) {
+			fc.Conn.Close() // sever both directions, like a real partition
+		}
+		return 0, faultErr(FaultPartition, -1, "injected partition after %d control frames", fc.plan.PartitionAfter)
+	}
+	if drop {
+		fc.Dropped.Add(1)
+		return len(frame), nil
+	}
+	if delay {
+		fc.Delayed.Add(1)
+		time.Sleep(fc.plan.Delay)
+	}
+	buf := frame
+	if corrupt && len(frame) > frameHeaderLen {
+		// Flip one byte past the header: the length prefix stays intact so
+		// the stream keeps framing, but the body fails to decode and the
+		// receiver classifies the session FaultCorrupt.
+		fc.Corrupted.Add(1)
+		buf = append([]byte(nil), frame...)
+		buf[frameHeaderLen] ^= 0xFF
+	}
+	if _, err := fc.Conn.Write(buf); err != nil {
+		return 0, err
+	}
+	if dup {
+		fc.Duplicated.Add(1)
+		fc.Conn.Write(buf)
+	}
+	return len(frame), nil
+}
