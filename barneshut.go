@@ -9,7 +9,9 @@
 //   - the paper's three parallel formulations — SPSA, SPDA and DPDA — on
 //     a simulated message-passing multicomputer with nCUBE2 and CM5 cost
 //     profiles, all based on the function-shipping paradigm, plus the
-//     data-shipping baseline they are compared against;
+//     data-shipping baseline they are compared against and a
+//     locally-essential-tree (LET) engine that trades one bulk exchange
+//     per step for fully local traversals;
 //   - particle distribution generators (Plummer, Gaussian families) and
 //     an O(n²) direct-summation ground truth;
 //   - a Simulation type that advances a particle system through time with
@@ -94,6 +96,14 @@ const (
 	FunctionShipping = parbh.FunctionShipping
 	// DataShipping fetches tree nodes to the computation (the baseline).
 	DataShipping = parbh.DataShipping
+	// DataShippingNaive is data shipping without the per-step node cache:
+	// every traversal miss is a fetch, as in the naive baseline the paper
+	// argues against.
+	DataShippingNaive = parbh.DataShippingNaive
+	// LETShipping assembles a locally essential tree per rank with one
+	// bulk exchange and a cross-step section cache, then evaluates forces
+	// entirely locally. Bit-identical to FunctionShipping.
+	LETShipping = parbh.LETShipping
 )
 
 // Branch lookup structures (Section 4.2.3).
@@ -126,6 +136,7 @@ const (
 	PhaseLocalTree = parbh.PhaseLocalTree
 	PhaseTreeMerge = parbh.PhaseTreeMerge
 	PhaseBroadcast = parbh.PhaseBroadcast
+	PhaseLET       = parbh.PhaseLET
 	PhaseForce     = parbh.PhaseForce
 	PhaseLoadBal   = parbh.PhaseLoadBal
 )

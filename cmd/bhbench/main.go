@@ -10,6 +10,7 @@
 //	bhbench -table 1 -json             # machine-readable per-run results
 //
 // Known ids: 1..7, fig9, kw (Section 4.1), ship (Section 4.2),
+// let (communication strategies incl. locally essential trees),
 // binsize, lookup, ordering, treebuild (ablations), serial (host
 // wall-clock of the serial kernels — real seconds, not simulated),
 // incremental (cold vs incremental step path, also host wall-clock),

@@ -39,7 +39,8 @@ func main() {
 		grid      = flag.Int("grid", 3, "log2 of the cluster grid per dimension (spsa/spda)")
 		machine   = flag.String("machine", "ncube2", "machine profile: ncube2, cm5, ideal")
 		binSize   = flag.Int("bin", 100, "function-shipping bin size")
-		shipping  = flag.String("shipping", "function", "function or data shipping")
+		shipping  = flag.String("shipping", "function", "communication strategy: function, data, data-naive, let")
+		strategy  = flag.String("strategy", "", "alias for -shipping (takes precedence when set)")
 		seed      = flag.Int64("seed", 42, "random seed")
 		verbose   = flag.Bool("v", false, "print the phase breakdown each step")
 		integr    = flag.String("integrator", "leapfrog", "time integrator: leapfrog, yoshida4, euler")
@@ -98,8 +99,21 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown machine %q", *machine))
 	}
-	if strings.ToLower(*shipping) == "data" {
+	ship := *shipping
+	if *strategy != "" {
+		ship = *strategy
+	}
+	switch strings.ToLower(ship) {
+	case "", "function":
+		cfg.Shipping = barneshut.FunctionShipping
+	case "data":
 		cfg.Shipping = barneshut.DataShipping
+	case "data-naive":
+		cfg.Shipping = barneshut.DataShippingNaive
+	case "let":
+		cfg.Shipping = barneshut.LETShipping
+	default:
+		fatal(fmt.Errorf("unknown strategy %q (want function, data, data-naive, or let)", ship))
 	}
 
 	switch strings.ToLower(*trans) {

@@ -274,6 +274,7 @@ func All(opt Options) ([]Table, error) {
 		{"scaling", ScalingTable},
 		{"kw", KruskalWeissTable},
 		{"ship", ShippingTable},
+		{"let", LETTable},
 		{"binsize", BinSizeTable},
 		{"lookup", LookupTable},
 		{"ordering", OrderingTable},
@@ -311,6 +312,7 @@ func ByID(id string) (func(Options) (Table, error), bool) {
 		"scaling":     ScalingTable,
 		"kw":          KruskalWeissTable,
 		"ship":        ShippingTable,
+		"let":         LETTable,
 		"binsize":     BinSizeTable,
 		"lookup":      LookupTable,
 		"ordering":    OrderingTable,

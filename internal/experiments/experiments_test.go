@@ -147,9 +147,9 @@ func TestShippingTableShape(t *testing.T) {
 	}
 	// The central Section 4.2.1 claim: the volume ratio (data/function)
 	// grows with the degree, because the series size is Θ(k²) while
-	// particle coordinates are constant. (The measured data engine caches
-	// cells — a best case — so only the growth is asserted, not the
-	// absolute crossover.)
+	// particle coordinates are constant. The ratio column measures the
+	// naive per-visit engine — the paper's own model of data shipping —
+	// and the naive total must also dominate the cached engine's.
 	var prevRatio float64
 	var prevUnit float64
 	for _, row := range tab.Rows {
@@ -158,11 +158,43 @@ func TestShippingTableShape(t *testing.T) {
 			t.Errorf("per-event data unit did not grow: %v after %v", unit, prevUnit)
 		}
 		prevUnit = unit
-		ratio := cell(row[5])
+		ratio := cell(row[6])
 		if ratio <= prevRatio*0.99 {
 			t.Errorf("volume ratio did not grow: %v after %v", ratio, prevRatio)
 		}
 		prevRatio = ratio
+		if cached, naive := cell(row[4]), cell(row[5]); naive <= cached {
+			t.Errorf("naive Mwords %v not above cached %v", naive, cached)
+		}
+	}
+}
+
+func TestLETTableShape(t *testing.T) {
+	// Needs enough particles per rank for essential sets to be a real
+	// subset; the tiny() scale makes every subtree essential.
+	tab, err := LETTable(Options{Scale: 1.0 / 32, MaxProcs: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by (scheme, p, strategy).
+	words := map[string]float64{}
+	hits := map[string]float64{}
+	for _, row := range tab.Rows {
+		k := row[0] + "/" + row[1] + "/" + row[2]
+		words[k] = cell(row[3])
+		hits[k] = cell(row[6])
+	}
+	for _, sc := range []string{"SPSA", "SPDA", "DPDA"} {
+		for _, p := range []string{"4", "8"} {
+			base := sc + "/" + p + "/"
+			if words[base+"let"] >= words[base+"data-naive"] {
+				t.Errorf("%s p=%s: LET words %v not below naive %v",
+					sc, p, words[base+"let"], words[base+"data-naive"])
+			}
+			if hits[base+"let"] <= 0 {
+				t.Errorf("%s p=%s: no LET cache hits on the warm measured step", sc, p)
+			}
+		}
 	}
 }
 
@@ -221,7 +253,7 @@ func TestFMMTableShape(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"1", "table3", "fig9", "kw", "ship", "binsize", "lookup", "ordering", "treebuild", "scaling", "fmm"} {
+	for _, id := range []string{"1", "table3", "fig9", "kw", "ship", "let", "binsize", "lookup", "ordering", "treebuild", "scaling", "fmm"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("ByID(%q) missing", id)
 		}

@@ -3,6 +3,7 @@ package parbh
 import (
 	"fmt"
 
+	"repro/internal/let"
 	"repro/internal/msg"
 	"repro/internal/transport"
 	"repro/internal/tree"
@@ -25,6 +26,9 @@ const (
 	idFetchedCells  uint16 = 36
 	idRankOut       uint16 = 37
 	idStepOutputs   uint16 = 38
+	idLETBounds     uint16 = 39
+	idLETShip       uint16 = 40
+	idLETLoad       uint16 = 41
 )
 
 func putV3(w *transport.Writer, v vec.V3) {
@@ -54,6 +58,95 @@ func getF64s(r *transport.Reader) []float64 {
 		out[i] = r.F64()
 	}
 	return out
+}
+
+func putI32s(w *transport.Writer, v []int32) {
+	w.Len(len(v), v == nil)
+	for _, x := range v {
+		w.I32(x)
+	}
+}
+
+func getI32s(r *transport.Reader) []int32 {
+	n, notNil := r.SliceLen(4)
+	if !notNil || r.Err() != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.I32()
+	}
+	return out
+}
+
+func putU8s(w *transport.Writer, v []uint8) {
+	w.Len(len(v), v == nil)
+	for _, x := range v {
+		w.U8(x)
+	}
+}
+
+func getU8s(r *transport.Reader) []uint8 {
+	n, notNil := r.SliceLen(1)
+	if !notNil || r.Err() != nil {
+		return nil
+	}
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = r.U8()
+	}
+	return out
+}
+
+func putSection(w *transport.Writer, s *let.Section) {
+	w.U64(s.BranchKey)
+	w.I64(s.Epoch)
+	if s.Cached {
+		w.U8(1)
+		return
+	}
+	w.U8(0)
+	putU8s(w, s.Kind)
+	putI32s(w, s.Skip)
+	putF64s(w, s.ComX)
+	putF64s(w, s.ComY)
+	putF64s(w, s.ComZ)
+	putF64s(w, s.Mass)
+	putF64s(w, s.Side)
+	putI32s(w, s.LeafLo)
+	putI32s(w, s.LeafHi)
+	putF64s(w, s.Exp)
+	w.I32(s.ExpStride)
+	putI32s(w, s.PID)
+	putF64s(w, s.PX)
+	putF64s(w, s.PY)
+	putF64s(w, s.PZ)
+	putF64s(w, s.PM)
+}
+
+func getSection(r *transport.Reader) *let.Section {
+	s := &let.Section{BranchKey: r.U64(), Epoch: r.I64()}
+	if r.U8() != 0 {
+		s.Cached = true
+		return s
+	}
+	s.Kind = getU8s(r)
+	s.Skip = getI32s(r)
+	s.ComX = getF64s(r)
+	s.ComY = getF64s(r)
+	s.ComZ = getF64s(r)
+	s.Mass = getF64s(r)
+	s.Side = getF64s(r)
+	s.LeafLo = getI32s(r)
+	s.LeafHi = getI32s(r)
+	s.Exp = getF64s(r)
+	s.ExpStride = r.I32()
+	s.PID = getI32s(r)
+	s.PX = getF64s(r)
+	s.PY = getF64s(r)
+	s.PZ = getF64s(r)
+	s.PM = getF64s(r)
+	return s
 }
 
 func putSummary(w *transport.Writer, s BranchSummary) {
@@ -292,6 +385,72 @@ func init() {
 				}
 			}
 			v.P = getF64s(r)
+			return v, r.Err()
+		})
+	transport.Register(idLETBounds,
+		func(w *transport.Writer, v let.Bounds) {
+			if v.Has {
+				w.U8(1)
+			} else {
+				w.U8(0)
+			}
+			putV3(w, v.Min)
+			putV3(w, v.Max)
+		},
+		func(r *transport.Reader) (let.Bounds, error) {
+			var v let.Bounds
+			v.Has = r.U8() != 0
+			v.Min = getV3(r)
+			v.Max = getV3(r)
+			return v, r.Err()
+		})
+	transport.Register(idLETShip,
+		func(w *transport.Writer, v letShipMsg) {
+			w.Len(len(v.Secs), v.Secs == nil)
+			for _, s := range v.Secs {
+				putSection(w, s)
+			}
+		},
+		func(r *transport.Reader) (letShipMsg, error) {
+			// Minimum encoded section (cached marker): key + epoch + flag
+			// = 17 bytes.
+			n, notNil := r.SliceLen(17)
+			if !notNil || r.Err() != nil {
+				return letShipMsg{}, r.Err()
+			}
+			v := letShipMsg{Secs: make([]*let.Section, n)}
+			for i := range v.Secs {
+				v.Secs[i] = getSection(r)
+			}
+			return v, r.Err()
+		})
+	transport.Register(idLETLoad,
+		func(w *transport.Writer, v letLoadMsg) {
+			w.Len(len(v.Keys), v.Keys == nil)
+			for _, k := range v.Keys {
+				w.U64(k)
+			}
+			putI32s(w, v.Nodes)
+			w.Len(len(v.Deltas), v.Deltas == nil)
+			for _, d := range v.Deltas {
+				w.I64(d)
+			}
+		},
+		func(r *transport.Reader) (letLoadMsg, error) {
+			var v letLoadMsg
+			if n, notNil := r.SliceLen(8); notNil && r.Err() == nil {
+				v.Keys = make([]uint64, n)
+				for i := range v.Keys {
+					v.Keys[i] = r.U64()
+				}
+			}
+			v.Nodes = getI32s(r)
+			if n, notNil := r.SliceLen(8); notNil && r.Err() == nil {
+				v.Deltas = make([]int64, n)
+				for i := range v.Deltas {
+					v.Deltas[i] = r.I64()
+				}
+			}
 			return v, r.Err()
 		})
 	transport.Register(idStepOutputs,

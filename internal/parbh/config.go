@@ -84,16 +84,33 @@ const (
 	// paper's schemes).
 	FunctionShipping Shipping = iota
 	// DataShipping fetches remote tree nodes to the computation (the
-	// prior art the paper compares against).
+	// prior art the paper compares against), deduplicating requests so
+	// each remote cell is fetched at most once per step.
 	DataShipping
+	// DataShippingNaive is the per-visit data-shipping baseline of the
+	// paper's Section 4.2: every blocked traversal visit issues its own
+	// fetch, with no request coalescing. Same physics, strictly more
+	// communication.
+	DataShippingNaive
+	// LETShipping prefetches each peer's locally essential tree in one
+	// bulk exchange per step (Dubinski), then traverses purely locally,
+	// host-parallel within the rank.
+	LETShipping
 )
 
 // String implements fmt.Stringer.
 func (s Shipping) String() string {
-	if s == FunctionShipping {
+	switch s {
+	case FunctionShipping:
 		return "function"
+	case DataShipping:
+		return "data"
+	case DataShippingNaive:
+		return "data-naive"
+	case LETShipping:
+		return "let"
 	}
-	return "data"
+	return fmt.Sprintf("Shipping(%d)", int(s))
 }
 
 // Lookup selects how served processors locate branch nodes from keys
@@ -231,6 +248,9 @@ type Result struct {
 	RankForce []float64
 	// BranchNodes is the total number of branch nodes across processors.
 	BranchNodes int
+	// LETCacheHits counts remote sections served from the cross-step LET
+	// cache this step (LETShipping only; locally simulated ranks).
+	LETCacheHits int64
 }
 
 // Phase name constants (the rows of the paper's Table 3, plus the
@@ -240,6 +260,7 @@ const (
 	PhaseLocalTree = "local tree construction"
 	PhaseTreeMerge = "tree merging"
 	PhaseBroadcast = "all-to-all broadcast"
+	PhaseLET       = "LET exchange"
 	PhaseForce     = "force computation and tree traversal"
 	PhaseLoadBal   = "load balancing"
 )

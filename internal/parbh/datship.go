@@ -15,10 +15,18 @@ import (
 // from the owner (monopole summary or full degree-k multipole series,
 // particle coordinates for leaves) and cached in the local image of the
 // tree; the requesting processor then continues the traversal itself.
-// Fetches are batched per wave and deduplicated, so each remote cell is
-// transferred at most once per processor — a best-case rendering of data
-// shipping; even so its communication volume scales as Θ(k²) per cell
-// while function shipping stays at 3 words per particle (Section 4.2.1).
+//
+// Two request disciplines share this engine. DataShipping batches fetches
+// per wave and deduplicates them, so each remote cell is transferred at
+// most once per processor — a best-case rendering of data shipping; even
+// so its communication volume scales as Θ(k²) per cell while function
+// shipping stays at 3 words per particle (Section 4.2.1).
+// DataShippingNaive is the literal per-visit baseline the paper argues
+// against: every blocked particle-visit issues its own fetch, with no
+// request coalescing — the owner serves (and the wire carries) one reply
+// per visit. The fetched cells still land in the shared cache, so the
+// physics, traversal structure, and Stats are identical; only the
+// communication accounting differs, strictly upward.
 
 // fetchedChild is one child cell shipped to a requester.
 type fetchedChild struct {
@@ -48,12 +56,20 @@ type dsWork struct {
 	accP  float64
 }
 
+// dsVisit records one blocked particle-visit in discovery order (the
+// naive per-visit request stream).
+type dsVisit struct {
+	key   uint64
+	owner int
+}
+
 // dataShipPhase runs the wave-synchronous data-shipping computation.
 func (e *Engine) dataShipPhase(pr *msg.Proc, st *localState, res *Result) {
 	t0 := pr.Stats().ComputeTime
 	cfg := e.cfg
 	deg := cfg.degreeOrMonopole()
 	p := pr.NumProcs()
+	naive := cfg.Shipping == DataShippingNaive
 
 	// Index every cell of the replicated image for cache insertion.
 	index := make(map[uint64]*pnode)
@@ -76,8 +92,13 @@ func (e *Engine) dataShipPhase(pr *msg.Proc, st *localState, res *Result) {
 	}
 	active := work
 
-	processStack := func(w *dsWork, needed map[uint64]int) {
+	processStack := func(w *dsWork, needed map[uint64]int, visits *[]dsVisit) {
 		var blocked []*pnode
+		block := func(n *pnode) {
+			needed[n.cell.Uint64()] = n.owners[0]
+			*visits = append(*visits, dsVisit{key: n.cell.Uint64(), owner: n.owners[0]})
+			blocked = append(blocked, n)
+		}
 		for len(w.stack) > 0 {
 			n := w.stack[len(w.stack)-1]
 			w.stack = w.stack[:len(w.stack)-1]
@@ -99,8 +120,7 @@ func (e *Engine) dataShipPhase(pr *msg.Proc, st *localState, res *Result) {
 			if n.isBranch && n.leafCell && !n.hasChildren() {
 				// Remote leaf: must fetch the particles.
 				if len(n.owners) > 0 {
-					needed[n.cell.Uint64()] = n.owners[0]
-					blocked = append(blocked, n)
+					block(n)
 				}
 				continue
 			}
@@ -127,8 +147,7 @@ func (e *Engine) dataShipPhase(pr *msg.Proc, st *localState, res *Result) {
 			}
 			// Remote internal cell with unfetched children.
 			if len(n.owners) > 0 {
-				needed[n.cell.Uint64()] = n.owners[0]
-				blocked = append(blocked, n)
+				block(n)
 			}
 		}
 		w.stack = blocked
@@ -136,25 +155,37 @@ func (e *Engine) dataShipPhase(pr *msg.Proc, st *localState, res *Result) {
 
 	for {
 		needed := make(map[uint64]int)
+		var visits []dsVisit
 		var parked []*dsWork
 		for _, w := range active {
-			processStack(w, needed)
+			processStack(w, needed, &visits)
 			if len(w.stack) > 0 {
 				parked = append(parked, w)
 			}
 		}
 		// Global agreement on another wave.
-		global := pr.SumF64([]float64{float64(len(needed))})
+		pending := len(needed)
+		if naive {
+			pending = len(visits)
+		}
+		global := pr.SumF64([]float64{float64(pending)})
 		if global[0] == 0 {
 			break
 		}
-		// Batch requests per owner.
+		// Batch requests per owner: one entry per distinct cell, or — for
+		// the naive baseline — one per blocked visit in discovery order.
 		reqs := make([][]uint64, p)
-		for key, owner := range needed {
-			reqs[owner] = append(reqs[owner], key)
-		}
-		for i := range reqs {
-			sort.Slice(reqs[i], func(a, b int) bool { return reqs[i][a] < reqs[i][b] })
+		if naive {
+			for _, v := range visits {
+				reqs[v.owner] = append(reqs[v.owner], v.key)
+			}
+		} else {
+			for key, owner := range needed {
+				reqs[owner] = append(reqs[owner], key)
+			}
+			for i := range reqs {
+				sort.Slice(reqs[i], func(a, b int) bool { return reqs[i][a] < reqs[i][b] })
+			}
 		}
 		payloads := make([]any, p)
 		words := make([]int, p)
@@ -194,13 +225,28 @@ func (e *Engine) dataShipPhase(pr *msg.Proc, st *localState, res *Result) {
 					ck := keys.CellKeyFromUint64(fc.Sum.Key)
 					if fc.Sum.Key == cell.Key {
 						// A leaf branch cell answered for itself: materialize
-						// the particles into the placeholder node.
+						// the particles into the placeholder node. A duplicate
+						// reply (naive mode fetches once per visit) must leave
+						// the first materialization alone.
+						if parent.local != nil {
+							wirePool.put(fc.Particles)
+							continue
+						}
 						ln := tree.BuildSubtree(fromWire(fc.Particles), parent.box, ck, e.cfg.LeafCap)
 						if cfg.Mode == PotentialMode {
 							tree.BuildNodeExpansions(ln, cfg.Degree)
 						}
 						parent.local = ln
 						parent.isBranch = false
+						continue
+					}
+					if parent.children[ck.Octant()] != nil {
+						// Duplicate reply for an already-inserted child (naive
+						// mode): keep the existing node — parked traversal
+						// stacks may already reference it.
+						if fc.IsLeaf {
+							wirePool.put(fc.Particles)
+						}
 						continue
 					}
 					child := &pnode{

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/keys"
+	"repro/internal/let"
 	"repro/internal/msg"
 	"repro/internal/obsv"
 	"repro/internal/partition"
@@ -47,6 +48,14 @@ type Engine struct {
 	// and every simulated metric derived from them, are bit-identical.
 	builders []*tree.Builder
 
+	// LET cross-step caches, indexed by rank (LETShipping only; lazily
+	// created). letOwn is the owner side (sections as last shipped per
+	// peer), letReq the receiver mirror, letFlats the reusable flat
+	// essential trees.
+	letOwn   []map[letPair]*letOwnEntry
+	letReq   []map[letPair]*letReqEntry
+	letFlats []*let.Flat
+
 	step int
 }
 
@@ -59,6 +68,9 @@ func New(machine *msg.Machine, set *dist.Set, cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg, machine: machine, n: set.N()}
 	e.domain = set.Domain.Cube()
 	e.builders = make([]*tree.Builder, p)
+	e.letOwn = make([]map[letPair]*letOwnEntry, p)
+	e.letReq = make([]map[letPair]*letReqEntry, p)
+	e.letFlats = make([]*let.Flat, p)
 
 	switch cfg.Scheme {
 	case SPSA, SPDA:
@@ -175,6 +187,11 @@ type localState struct {
 	// particle, so the load-balancing schemes see the whole force cost of
 	// a region, not just its subtree-resident share.
 	extraLoad map[int]float64
+
+	// LET-shipping per-step state (LETShipping only).
+	letFlat *let.Flat                // grafted flat essential tree
+	letSent map[letPair][]*tree.Node // shipped nodes by (peer, branch), ordinal-aligned
+	letHits int                      // sections served from the cross-step cache
 }
 
 // message tags of the engine protocols (collectives use their own space).
@@ -244,12 +261,15 @@ func (e *Engine) StepErr() (*Result, error) {
 	p := e.machine.P
 	deg := e.cfg.degreeOrMonopole()
 
+	letMode := e.cfg.Shipping == LETShipping
+	order := []string{PhaseMigrate, PhaseLocalTree, PhaseBroadcast, PhaseTreeMerge}
+	if letMode {
+		order = append(order, PhaseLET)
+	}
+	order = append(order, PhaseForce, PhaseLoadBal)
 	res := &Result{
-		Phases: make(map[string]float64),
-		PhaseOrder: []string{
-			PhaseMigrate, PhaseLocalTree, PhaseBroadcast, PhaseTreeMerge,
-			PhaseForce, PhaseLoadBal,
-		},
+		Phases:     make(map[string]float64),
+		PhaseOrder: order,
 	}
 	if e.cfg.Mode == ForceMode {
 		res.Accels = make([]vec.V3, e.n)
@@ -263,6 +283,7 @@ func (e *Engine) StepErr() (*Result, error) {
 	procStats := make([]tree.Stats, p)
 	forceTimes := make([]float64, p)
 	branchCounts := make([]int, p)
+	letHits := make([]int64, p)
 	phaseTimes := make([][]float64, p)
 	ownedIDs := make([][]int32, p) // distributed: IDs owned at force time
 	var newOwner []int             // SPDA: next step's cluster assignment
@@ -313,6 +334,11 @@ func (e *Engine) StepErr() (*Result, error) {
 		e.buildTopPhase(pr, st, all)
 		mark(PhaseTreeMerge)
 
+		if letMode {
+			e.letExchange(pr, st)
+			mark(PhaseLET)
+		}
+
 		e.forcePhase(pr, st, res)
 		mark(PhaseForce)
 
@@ -337,6 +363,7 @@ func (e *Engine) StepErr() (*Result, error) {
 		procStats[st.me] = st.stats
 		forceTimes[st.me] = st.forceT
 		branchCounts[st.me] = len(st.branches)
+		letHits[st.me] = int64(st.letHits)
 		phaseTimes[st.me] = marks
 		if st.me == leader {
 			newOwner = no
@@ -386,6 +413,9 @@ func (e *Engine) StepErr() (*Result, error) {
 	}
 	for _, b := range branchCounts {
 		res.BranchNodes += b
+	}
+	for _, h := range letHits {
+		res.LETCacheHits += h
 	}
 	res.ProcStats = machineStats
 	res.SimTime = msg.MaxTime(machineStats)

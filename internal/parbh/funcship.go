@@ -49,8 +49,12 @@ type repBin struct {
 // forcePhase runs the force-computation phase and writes per-particle
 // results (indexed by particle ID) into res.
 func (e *Engine) forcePhase(pr *msg.Proc, st *localState, res *Result) {
-	if e.cfg.Shipping == DataShipping {
+	switch e.cfg.Shipping {
+	case DataShipping, DataShippingNaive:
 		e.dataShipPhase(pr, st, res)
+		return
+	case LETShipping:
+		e.letForcePhase(pr, st, res)
 		return
 	}
 	r := &shipRun{e: e, pr: pr, st: st}

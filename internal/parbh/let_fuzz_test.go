@@ -1,0 +1,119 @@
+package parbh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/let"
+	"repro/internal/transport"
+	"repro/internal/vec"
+)
+
+// fuzzLETSeeds returns valid encodings of every LET wire kind: peer
+// bounds, a bulk ship message with one full and one cached-marker
+// section, and a load-return message.
+func fuzzLETSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	full := &let.Section{
+		BranchKey: 0x51,
+		Epoch:     3,
+		Kind:      []uint8{let.NodeOpen, let.NodeClosed, let.NodeLeaf},
+		Skip:      []int32{3, 2, 3},
+		ComX:      []float64{0.5, 0.25, 0},
+		ComY:      []float64{0.5, 0.25, 0},
+		ComZ:      []float64{0.5, 0.25, 0},
+		Mass:      []float64{2, 1, 0},
+		Side:      []float64{1, 0.5, 0},
+		LeafLo:    []int32{-1, -1, 0},
+		LeafHi:    []int32{-1, -1, 2},
+		PID:       []int32{4, 9},
+		PX:        []float64{0.1, 0.2},
+		PY:        []float64{0.3, 0.4},
+		PZ:        []float64{0.5, 0.6},
+		PM:        []float64{1, 1},
+	}
+	marker := &let.Section{BranchKey: 0x52, Epoch: 1, Cached: true}
+	var out [][]byte
+	for _, v := range []any{
+		let.Bounds{Has: true, Min: vec.V3{X: -1, Y: -1, Z: -1}, Max: vec.V3{X: 1, Y: 1, Z: 1}},
+		let.Bounds{},
+		letShipMsg{Secs: []*let.Section{full, marker}},
+		letShipMsg{},
+		letLoadMsg{Keys: []uint64{0x51, 0x51}, Nodes: []int32{0, 2}, Deltas: []int64{7, 2}},
+		letLoadMsg{},
+	} {
+		b, err := transport.Marshal(v)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// FuzzDecodeLETWire hammers the LET wire kinds with truncated and
+// corrupt inputs: the decoders must return errors or values, never
+// panic, and anything that decodes must re-encode (the codec space is
+// closed under round trips).
+func FuzzDecodeLETWire(f *testing.F) {
+	for _, b := range fuzzLETSeeds(f) {
+		f.Add(b)
+		if len(b) > 4 {
+			f.Add(b[:len(b)-3]) // truncated
+		}
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		v, err := transport.Unmarshal(body)
+		if err != nil {
+			return
+		}
+		if _, rerr := transport.Marshal(v); rerr != nil {
+			t.Fatalf("decoded %T failed to re-encode: %v", v, rerr)
+		}
+	})
+}
+
+// TestLETWireRoundTrip pins lossless round trips for the LET wire kinds,
+// including the signed-zero bit patterns the cache comparison keys on.
+func TestLETWireRoundTrip(t *testing.T) {
+	for _, b := range fuzzLETSeeds(t) {
+		v, err := transport.Unmarshal(b)
+		if err != nil {
+			t.Fatalf("seed failed to decode: %v", err)
+		}
+		b2, err := transport.Marshal(v)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if string(b) != string(b2) {
+			t.Fatalf("round trip not byte-stable for %T", v)
+		}
+	}
+	// Sections with ±0 coordinates must round-trip bit-exactly: the
+	// receiver-side cache replays them into signed-zero-sensitive sums.
+	s := &let.Section{
+		BranchKey: 1,
+		Kind:      []uint8{let.NodeLeaf},
+		Skip:      []int32{1},
+		ComX:      []float64{0}, ComY: []float64{0}, ComZ: []float64{0},
+		Mass: []float64{0}, Side: []float64{0},
+		LeafLo: []int32{0}, LeafHi: []int32{1},
+		PID: []int32{3},
+		PX:  []float64{negZero()}, PY: []float64{0}, PZ: []float64{0},
+		PM: []float64{1},
+	}
+	b, err := transport.Marshal(letShipMsg{Secs: []*let.Section{s}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := transport.Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(letShipMsg).Secs[0]
+	if !got.Equal(s) {
+		t.Error("section with -0.0 coordinate did not round-trip bit-exactly")
+	}
+}
+
+func negZero() float64 { return math.Copysign(0, -1) }

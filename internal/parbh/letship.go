@@ -1,0 +1,333 @@
+package parbh
+
+import (
+	"fmt"
+
+	"repro/internal/let"
+	"repro/internal/msg"
+	"repro/internal/phys"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// Locally-essential-tree force engine (Dubinski; ROADMAP item 3). The
+// step gains one phase between tree merging and force computation: every
+// rank broadcasts the bounding box of its particles, walks each of its
+// local branch subtrees against every peer's box to serialize the
+// essential set (internal nodes are summarized the moment the MAC
+// provably accepts them from anywhere in the box — the domain-opening
+// criterion), and ships one bulk message per peer. Receivers graft the
+// sections beside a flat linearization of the replicated tree and the
+// force phase becomes a purely local, host-parallel traversal — no
+// mid-phase communication, no request/reply latency to hide.
+//
+// A cross-step cache rides the exchange: the owner remembers the last
+// section shipped per (peer, branch) and replaces an unchanged section
+// with a two-word marker carrying the epoch (step) of last change; the
+// receiver replays its cached copy after checking the epoch. After the
+// traversal, one all-to-all returns per-node Load deltas so the owner's
+// subtree sees exactly the counters a function-shipping step would have
+// produced — the load-balancing schemes evolve identically.
+//
+// Simulated accelerations, potentials, and aggregate Stats are
+// bit-identical to function shipping: the kernels in internal/let replay
+// its floating-point reduction order (see let.Flat). Per-rank SimTime
+// and comm volume differ by construction — that difference is the
+// measurement.
+
+// letPair keys the per-rank LET caches: the remote rank and the packed
+// branch cell key (the Morton path).
+type letPair struct {
+	peer int
+	key  uint64
+}
+
+// letOwnEntry is the owner-side cache record: the section as last
+// shipped to one peer, and the step it last changed.
+type letOwnEntry struct {
+	sec     *let.Section
+	epoch   int64
+	touched bool // shipped this step; untouched entries are pruned
+}
+
+// letReqEntry is the receiver-side mirror: the decoded section under
+// which grafts replay, keyed by the same epoch the owner advertises.
+type letReqEntry struct {
+	sec   *let.Section
+	exps  []*phys.Expansion
+	epoch int64
+}
+
+// letShipMsg is one peer's bulk essential-set delivery.
+type letShipMsg struct {
+	Secs []*let.Section
+}
+
+// letLoadMsg returns per-node Load deltas to section owners; parallel
+// arrays, one entry per (branch, ordinal) with a non-zero delta.
+type letLoadMsg struct {
+	Keys   []uint64
+	Nodes  []int32
+	Deltas []int64
+}
+
+// letOwnCache returns rank's persistent owner-side cache.
+func (e *Engine) letOwnCache(rank int) map[letPair]*letOwnEntry {
+	if e.letOwn[rank] == nil {
+		e.letOwn[rank] = make(map[letPair]*letOwnEntry)
+	}
+	return e.letOwn[rank]
+}
+
+// letFlat returns rank's reusable flat essential tree.
+func (e *Engine) letFlat(rank int) *let.Flat {
+	if e.letFlats[rank] == nil {
+		e.letFlats[rank] = &let.Flat{}
+	}
+	return e.letFlats[rank]
+}
+
+// letExchange runs the LET exchange phase: bounds all-gather, essential
+// walks, bulk section exchange with cache diffing, and construction of
+// the rank's flat essential tree.
+func (e *Engine) letExchange(pr *msg.Proc, st *localState) {
+	p := pr.NumProcs()
+	cfg := e.cfg
+	withExp := cfg.Mode == PotentialMode
+
+	// Per-rank particle bounding boxes. Actual particle bounds (not cell
+	// bounds): the criterion must lower-bound the distances the peer's MAC
+	// will compute from real particle coordinates.
+	b := let.BoundsOf(st.parts)
+	pr.Compute(2 * float64(len(st.parts)))
+	gathered := pr.AllGather(b, let.BoundsWords)
+
+	// Essential walk per peer, diffed against the owner cache.
+	own := e.letOwnCache(st.me)
+	st.letSent = make(map[letPair][]*tree.Node)
+	payloads := make([]any, p)
+	words := make([]int, p)
+	visited := 0
+	for peer := 0; peer < p; peer++ {
+		if peer == st.me {
+			payloads[peer] = letShipMsg{}
+			continue
+		}
+		bb := gathered[peer].(let.Bounds)
+		var secs []*let.Section
+		w := 1
+		for _, br := range st.branches {
+			if br.Count == 0 {
+				continue
+			}
+			alwaysShip := br.Count <= cfg.LeafCap // leaf cells are deferred without a MAC test
+			sec, nodes, nv := let.BuildSection(br, bb, cfg.Alpha, withExp, alwaysShip)
+			visited += nv
+			if sec == nil {
+				continue
+			}
+			pair := letPair{peer: peer, key: br.Key.Uint64()}
+			sec.BranchKey = pair.key
+			st.letSent[pair] = nodes
+			if prev, ok := own[pair]; ok && prev.sec.Equal(sec) {
+				prev.touched = true
+				secs = append(secs, &let.Section{BranchKey: pair.key, Epoch: prev.epoch, Cached: true})
+				w += 2
+			} else {
+				sec.Epoch = int64(e.step)
+				own[pair] = &letOwnEntry{sec: sec, epoch: sec.Epoch, touched: true}
+				secs = append(secs, sec)
+				w += sec.WireWords()
+			}
+		}
+		payloads[peer] = letShipMsg{Secs: secs}
+		words[peer] = w
+	}
+	// Drop cache entries no longer shipped (peer bounds moved away).
+	for k, ent := range own {
+		if !ent.touched {
+			delete(own, k)
+		} else {
+			ent.touched = false
+		}
+	}
+	pr.Compute(phys.MACFlops * float64(visited))
+	replies := pr.AllToAll(payloads, words)
+
+	// Decode sections (or replay them from the receiver cache) and graft.
+	fl := e.letFlat(st.me)
+	fl.Reset()
+	newReq := make(map[letPair]*letReqEntry)
+	secIdx := make(map[letPair]int32)
+	grafted := 0
+	st.letHits = 0
+	for owner := 0; owner < p; owner++ {
+		if owner == st.me {
+			continue
+		}
+		ship := replies[owner].(letShipMsg)
+		for _, sec := range ship.Secs {
+			pair := letPair{peer: owner, key: sec.BranchKey}
+			var ent *letReqEntry
+			if sec.Cached {
+				prev, ok := e.letReq[st.me][pair]
+				if !ok || prev.epoch != sec.Epoch {
+					panic(fmt.Sprintf("parbh: LET cache marker for branch %x epoch %d has no matching entry", sec.BranchKey, sec.Epoch))
+				}
+				ent = prev
+				st.letHits++
+			} else {
+				ent = &letReqEntry{sec: sec, exps: decodeSectionExps(sec, cfg.Degree, withExp), epoch: sec.Epoch}
+			}
+			newReq[pair] = ent
+			secIdx[pair] = int32(fl.AddSection(owner, ent.sec, ent.exps))
+			grafted += ent.sec.NumNodes()
+		}
+	}
+	e.letReq[st.me] = newReq
+	pr.Compute(2 * float64(grafted))
+
+	// Flatten the replicated tree: local subtrees inline, remote branches
+	// carry graft references in owner order (the function-shipping slot
+	// order).
+	fl.BeginMain()
+	var flatten func(n *pnode)
+	flatten = func(n *pnode) {
+		if n.local != nil {
+			fl.AddLocalSubtree(n.local)
+			return
+		}
+		if n.isBranch {
+			grafts := make([]int32, len(n.owners))
+			for i, o := range n.owners {
+				if si, ok := secIdx[letPair{peer: o, key: n.cell.Uint64()}]; ok {
+					grafts[i] = si
+				} else {
+					grafts[i] = -1 // owner proved the MAC accepts: defer would be a bug
+				}
+			}
+			fl.AddBranch(n.leafCell, n.com, n.mass, n.box.LongestSide(), n.exp, grafts)
+			return
+		}
+		idx := fl.AddTop(n.com, n.mass, n.box.LongestSide(), n.exp)
+		for _, c := range n.children {
+			if c == nil {
+				continue
+			}
+			if c.count == 0 {
+				// The pointer traversal folds an exact zero for an empty
+				// child; an empty leaf replays that (and charges nothing).
+				fl.AddZero()
+				continue
+			}
+			flatten(c)
+		}
+		fl.CloseInternal(idx)
+	}
+	flatten(st.top)
+	fl.Seal()
+	st.letFlat = fl
+}
+
+// decodeSectionExps rebuilds the per-node multipole expansions of a
+// section (potential mode); nil in force mode.
+func decodeSectionExps(sec *let.Section, degree int, withExp bool) []*phys.Expansion {
+	if !withExp {
+		return nil
+	}
+	exps := make([]*phys.Expansion, sec.NumNodes())
+	stride := int(sec.ExpStride)
+	off := 0
+	for i, k := range sec.Kind {
+		if k == let.NodeLeaf {
+			continue
+		}
+		if off+stride > len(sec.Exp) {
+			panic("parbh: LET section expansion columns truncated")
+		}
+		ex, err := phys.ExpansionFromFloats(degree, sec.Exp[off:off+stride])
+		if err != nil {
+			panic(fmt.Sprintf("parbh: LET section expansion decode: %v", err))
+		}
+		exps[i] = ex
+		off += stride
+	}
+	if off != len(sec.Exp) {
+		panic("parbh: LET section expansion columns misaligned")
+	}
+	return exps
+}
+
+// letForcePhase runs the purely local traversal over the flat essential
+// tree, host-parallel within the rank, then returns section Load deltas
+// to their owners.
+func (e *Engine) letForcePhase(pr *msg.Proc, st *localState, res *Result) {
+	t0 := pr.Stats().ComputeTime
+	cfg := e.cfg
+	deg := cfg.degreeOrMonopole()
+	fl := st.letFlat
+	n := len(st.parts)
+	// The per-interaction extra-load addend of chargePC: interactions
+	// against replicated summaries have no local tree node to charge.
+	exAdd := phys.InteractionFlops(deg) + phys.MACFlops
+	extra := make([]float64, n)
+	st.extraLoad = make(map[int]float64, n)
+
+	if cfg.Mode == ForceMode {
+		out := make([]vec.V3, n)
+		s := fl.ForceAll(st.parts, cfg.Alpha, cfg.Eps, exAdd, out, extra)
+		st.stats.Add(s)
+		pr.Compute(s.Flops(deg))
+		for i := range st.parts {
+			res.Accels[st.parts[i].ID] = out[i]
+		}
+	} else {
+		out := make([]float64, n)
+		s := fl.PotentialAll(st.parts, cfg.Alpha, exAdd, out, extra)
+		st.stats.Add(s)
+		pr.Compute(s.Flops(deg))
+		for i := range st.parts {
+			res.Potentials[st.parts[i].ID] = out[i]
+		}
+	}
+	for i := range st.parts {
+		if extra[i] != 0 {
+			st.extraLoad[st.parts[i].ID] = extra[i]
+		}
+	}
+	fl.ApplyLocalLoads()
+	e.letReturnLoads(pr, st, fl)
+	st.forceT = pr.Stats().ComputeTime - t0
+}
+
+// letReturnLoads ships per-node Load deltas back to section owners and
+// applies incoming deltas to this rank's sent nodes, so every tree node
+// ends the step with exactly the Load a function-shipping step charges.
+func (e *Engine) letReturnLoads(pr *msg.Proc, st *localState, fl *let.Flat) {
+	p := pr.NumProcs()
+	msgs := make([]letLoadMsg, p)
+	for si := 0; si < fl.NumSections(); si++ {
+		m := fl.Section(si)
+		nodes, deltas := fl.SectionDeltas(si, nil, nil)
+		lm := &msgs[m.Owner]
+		for j := range nodes {
+			lm.Keys = append(lm.Keys, m.Key)
+			lm.Nodes = append(lm.Nodes, nodes[j])
+			lm.Deltas = append(lm.Deltas, deltas[j])
+		}
+	}
+	payloads := make([]any, p)
+	words := make([]int, p)
+	for i := 0; i < p; i++ {
+		payloads[i] = msgs[i]
+		words[i] = 3*len(msgs[i].Nodes) + 1
+	}
+	got := pr.AllToAll(payloads, words)
+	for src := 0; src < p; src++ {
+		lm := got[src].(letLoadMsg)
+		for j := range lm.Nodes {
+			sent := st.letSent[letPair{peer: src, key: lm.Keys[j]}]
+			sent[lm.Nodes[j]].Load += lm.Deltas[j]
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package parbh
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/msg"
+)
+
+// The LET engine's whole correctness contract is that it is an
+// *implementation strategy*, not a different algorithm: accelerations,
+// potentials, and aggregate interaction Stats must be bit-identical to
+// function shipping, for every formulation, on every step of a
+// multi-step run (so the load-return path that feeds SPDA/DPDA
+// rebalancing is exercised too).
+
+func letGoldenCases() []struct {
+	name string
+	cfg  Config
+} {
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"spsa/force", Config{Scheme: SPSA, Mode: ForceMode, Alpha: 0.67, Eps: 0.01, GridLog2: 2}},
+		{"spda/force", Config{Scheme: SPDA, Mode: ForceMode, Alpha: 0.67, Eps: 0.01, GridLog2: 2}},
+		{"dpda/force", Config{Scheme: DPDA, Mode: ForceMode, Alpha: 0.67, Eps: 0.01}},
+		{"spda/potential", Config{Scheme: SPDA, Mode: PotentialMode, Alpha: 0.67, Degree: 2, GridLog2: 2}},
+	}
+}
+
+func runShipping(t *testing.T, set *dist.Set, cfg Config, ship Shipping, steps, ranks int) []*Result {
+	t.Helper()
+	cfg.Shipping = ship
+	m := msg.NewMachine(ranks, msg.CM5())
+	e, err := New(m, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*Result, steps)
+	for i := range out {
+		out[i] = e.Step()
+	}
+	return out
+}
+
+func compareResults(t *testing.T, want, got *Result, step int) {
+	t.Helper()
+	if got.Stats != want.Stats {
+		t.Errorf("step %d: stats = %+v, want %+v", step, got.Stats, want.Stats)
+	}
+	for i := range want.Accels {
+		if got.Accels[i] != want.Accels[i] {
+			t.Fatalf("step %d: accel %d = %v, want %v", step, i, got.Accels[i], want.Accels[i])
+		}
+	}
+	for i := range want.Potentials {
+		if got.Potentials[i] != want.Potentials[i] {
+			t.Fatalf("step %d: potential %d = %v, want %v", step, i, got.Potentials[i], want.Potentials[i])
+		}
+	}
+}
+
+// TestLETMatchesFunctionShipping pins the bit-identity contract over
+// three steps per formulation, and that the cross-step cache actually
+// fires once the decomposition settles (positions are static here, so
+// the final step must serve some sections from cache).
+func TestLETMatchesFunctionShipping(t *testing.T) {
+	set := dist.MustNamed("g", 1500, 42)
+	const steps, ranks = 3, 8
+	for _, tc := range letGoldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			want := runShipping(t, set, tc.cfg, FunctionShipping, steps, ranks)
+			got := runShipping(t, set, tc.cfg, LETShipping, steps, ranks)
+			for s := range want {
+				compareResults(t, want[s], got[s], s)
+			}
+			if got[steps-1].LETCacheHits == 0 {
+				t.Errorf("no LET cache hits on warm step %d", steps-1)
+			}
+			if got[0].LETCacheHits != 0 {
+				t.Errorf("cold step reported %d cache hits", got[0].LETCacheHits)
+			}
+			if got[0].Phases[PhaseLET] <= 0 {
+				t.Errorf("LET exchange phase has no simulated time: %v", got[0].Phases)
+			}
+		})
+	}
+}
+
+// TestLETCacheNeverServesStale integrates the system (positions change
+// every step through SetParticles, as the time integrator does) and
+// checks that cached sections never leak stale node data: every step
+// must still match function shipping bit-for-bit under the same motion.
+func TestLETCacheNeverServesStale(t *testing.T) {
+	set := dist.MustNamed("g", 1200, 7)
+	const steps, ranks = 4, 8
+	cfg := Config{Scheme: SPSA, Mode: ForceMode, Alpha: 0.67, Eps: 0.01, GridLog2: 2}
+
+	run := func(ship Shipping) ([]*Result, int64) {
+		cfg.Shipping = ship
+		m := msg.NewMachine(ranks, msg.CM5())
+		e, err := New(m, set, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		center := e.Domain().Center()
+		var hits int64
+		out := make([]*Result, steps)
+		for s := range out {
+			out[s] = e.Step()
+			hits += out[s].LETCacheHits
+			// Contract a slowly shrinking subset of particles toward the
+			// domain centre: most ranks' sections change, some stay
+			// bit-identical — both cache paths run every step.
+			upd := make([]dist.Particle, set.N())
+			for _, q := range set.Particles {
+				upd[q.ID] = q
+			}
+			for proc := range e.Parts() {
+				for _, q := range e.Parts()[proc] {
+					upd[q.ID] = q
+					if q.ID%3 == s%3 {
+						upd[q.ID].Pos = q.Pos.Add(center.Sub(q.Pos).Scale(0.01))
+					}
+				}
+			}
+			e.SetParticles(upd)
+		}
+		return out, hits
+	}
+
+	want, _ := run(FunctionShipping)
+	got, hits := run(LETShipping)
+	for s := range want {
+		compareResults(t, want[s], got[s], s)
+	}
+	if hits == 0 {
+		t.Error("mutation run exercised no cache hits; weaken the perturbation")
+	}
+}
+
+// TestLETInvariantUnderHostParallelism pins GOMAXPROCS-invariance of the
+// hybrid intra-rank traversal: the worker-order shard merge must make
+// Stats, loads (observable through the next step's rebalancing), and the
+// results themselves independent of host parallelism.
+func TestLETInvariantUnderHostParallelism(t *testing.T) {
+	set := dist.MustNamed("g", 1500, 42)
+	cfg := Config{Scheme: SPDA, Mode: ForceMode, Alpha: 0.67, Eps: 0.01, GridLog2: 2}
+	run := func() []*Result { return runShipping(t, set, cfg, LETShipping, 2, 8) }
+
+	old := runtime.GOMAXPROCS(1)
+	seq := run()
+	runtime.GOMAXPROCS(4)
+	par := run()
+	runtime.GOMAXPROCS(old)
+	for s := range seq {
+		compareResults(t, seq[s], par[s], s)
+		if seq[s].CommWords != par[s].CommWords {
+			t.Errorf("step %d: comm words differ across GOMAXPROCS: %d vs %d",
+				s, seq[s].CommWords, par[s].CommWords)
+		}
+	}
+}
+
+// TestNaiveDataShippingMatchesCached pins that the per-visit baseline is
+// the same physics as cached data shipping — identical accelerations and
+// Stats — while shipping strictly more words (the point of the §4.2
+// comparison), and that LET undercuts both.
+func TestNaiveDataShippingMatchesCached(t *testing.T) {
+	set := dist.MustNamed("g", 1200, 7)
+	cfg := Config{Scheme: SPSA, Mode: ForceMode, Alpha: 0.67, Eps: 0.01, GridLog2: 2}
+	cached := runShipping(t, set, cfg, DataShipping, 1, 8)[0]
+	naive := runShipping(t, set, cfg, DataShippingNaive, 1, 8)[0]
+	letR := runShipping(t, set, cfg, LETShipping, 1, 8)[0]
+
+	compareResults(t, cached, naive, 0)
+	if naive.CommWords <= cached.CommWords {
+		t.Errorf("naive data shipping words = %d, want > cached %d", naive.CommWords, cached.CommWords)
+	}
+	if letR.CommWords >= naive.CommWords {
+		t.Errorf("LET words = %d, want < naive data shipping %d", letR.CommWords, naive.CommWords)
+	}
+}

@@ -40,6 +40,20 @@ func TestWireCodecExhaustive(t *testing.T) {
 		{"dpda/force/data", Config{
 			Scheme: DPDA, Mode: ForceMode, Shipping: DataShipping, Alpha: 0.67, Eps: 0.01,
 		}, 2},
+		{"spsa/force/data-naive", Config{
+			Scheme: SPSA, Mode: ForceMode, Shipping: DataShippingNaive, Alpha: 0.67, Eps: 0.01, GridLog2: 2,
+		}, 1},
+		// LET runs two steps so the cache-marker wire path (Cached sections)
+		// crosses the codec too, not just full sections.
+		{"spsa/force/let", Config{
+			Scheme: SPSA, Mode: ForceMode, Shipping: LETShipping, Alpha: 0.67, Eps: 0.01, GridLog2: 2,
+		}, 2},
+		{"dpda/force/let", Config{
+			Scheme: DPDA, Mode: ForceMode, Shipping: LETShipping, Alpha: 0.67, Eps: 0.01,
+		}, 2},
+		{"spda/potential/let", Config{
+			Scheme: SPDA, Mode: PotentialMode, Shipping: LETShipping, Alpha: 0.67, Degree: 2, GridLog2: 2,
+		}, 2},
 	}
 	const ranks = 4
 	set := dist.MustNamed("g", 600, 7)

@@ -57,7 +57,9 @@ type JobSpec struct {
 	BinSize int `json:"bin_size,omitempty"`
 	// Integrator selects leapfrog (default), yoshida4, or euler.
 	Integrator string `json:"integrator,omitempty"`
-	// Shipping selects function (default) or data shipping.
+	// Shipping selects the communication strategy: function (default),
+	// data, data-naive (uncached data shipping), or let (locally
+	// essential trees).
 	Shipping string `json:"shipping,omitempty"`
 	// CheckpointEvery overrides the service's checkpoint interval in
 	// steps for this job (0 = service default).
@@ -187,8 +189,12 @@ func (s *JobSpec) shippingValue() (barneshut.Shipping, error) {
 		return barneshut.FunctionShipping, nil
 	case "data":
 		return barneshut.DataShipping, nil
+	case "data-naive":
+		return barneshut.DataShippingNaive, nil
+	case "let":
+		return barneshut.LETShipping, nil
 	}
-	return 0, fmt.Errorf("unknown shipping %q (want function or data)", s.Shipping)
+	return 0, fmt.Errorf("unknown shipping %q (want function, data, data-naive, or let)", s.Shipping)
 }
 
 // distributed reports whether the spec asks for the TCP cluster
